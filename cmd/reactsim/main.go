@@ -1,0 +1,129 @@
+// Command reactsim runs one simulation cell: a power trace driving an
+// energy buffer powering a benchmark workload, and reports the outcome.
+//
+// Usage:
+//
+//	reactsim [-trace name|-tracefile f.csv] [-buffer name] [-bench name]
+//	         [-seed n] [-dt s] [-record file.csv] [-v]
+//
+// Buffers: "770 µF", "10 mF", "17 mF", "Morphy", "REACT", plus the
+// related-work extensions "Capybara" and "Dewdrop".
+// Benchmarks: DE, SC, RT, PF.
+// Traces: cart, obstructed, mobile, campus, commute, pedestrian, night.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"react/internal/experiments"
+	"react/internal/trace"
+)
+
+func namedTrace(name string, seed uint64) (*trace.Trace, error) {
+	switch name {
+	case "cart":
+		return trace.RFCart(seed), nil
+	case "obstructed":
+		return trace.RFObstructed(seed), nil
+	case "mobile":
+		return trace.RFMobile(seed), nil
+	case "campus":
+		return trace.SolarCampus(seed), nil
+	case "commute":
+		return trace.SolarCommute(seed), nil
+	case "pedestrian":
+		return trace.Fig1Pedestrian(seed), nil
+	case "night":
+		return trace.Night(seed), nil
+	}
+	return nil, fmt.Errorf("unknown trace %q (want cart, obstructed, mobile, campus, commute, pedestrian, night)", name)
+}
+
+func main() {
+	var (
+		traceName = flag.String("trace", "cart", "built-in trace name")
+		traceFile = flag.String("tracefile", "", "CSV trace file (overrides -trace)")
+		bufName   = flag.String("buffer", "REACT", `buffer design ("770 µF", "10 mF", "17 mF", "Morphy", "REACT", "Capybara", "Dewdrop")`)
+		bench     = flag.String("bench", "DE", "benchmark (DE, SC, RT, PF)")
+		seed      = flag.Uint64("seed", 1, "trace/event seed")
+		dt        = flag.Float64("dt", 1e-3, "integration timestep (s)")
+		record    = flag.String("record", "", "write a voltage/state CSV recording to this file")
+		verbose   = flag.Bool("v", false, "print the full energy ledger")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceName, *traceFile, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reactsim:", err)
+		os.Exit(1)
+	}
+
+	opt := experiments.Options{Seed: *seed, DT: *dt}
+	if *record != "" {
+		opt.RecordDT = 0.5
+	}
+	res, err := experiments.RunCell(tr, *bufName, *bench, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reactsim:", err)
+		os.Exit(1)
+	}
+
+	s := tr.Stats()
+	fmt.Printf("trace    %s (%.0f s, %.3g mW mean, CV %.0f%%)\n", tr.Name, s.Duration, s.Mean*1e3, s.CV*100)
+	fmt.Printf("buffer   %s\n", res.Buffer)
+	fmt.Printf("bench    %s\n", res.Workload)
+	if res.Latency < 0 {
+		fmt.Printf("latency  never started\n")
+	} else {
+		fmt.Printf("latency  %.2f s\n", res.Latency)
+	}
+	fmt.Printf("on-time  %.1f s of %.1f s (%.1f%% duty)\n", res.OnTime, res.Duration, res.OnFraction()*100)
+	fmt.Printf("cycles   %d (mean %.1f s)\n", res.Cycles, res.MeanCycle)
+	keys := make([]string, 0, len(res.Metrics))
+	for k := range res.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("metric   %-10s %.0f\n", k, res.Metrics[k])
+	}
+	if *verbose {
+		l := res.Ledger
+		fmt.Printf("ledger   harvested %.4f J\n", l.Harvested)
+		fmt.Printf("ledger   consumed  %.4f J\n", l.Consumed)
+		fmt.Printf("ledger   clipped   %.4f J\n", l.Clipped)
+		fmt.Printf("ledger   leaked    %.4f J\n", l.Leaked)
+		fmt.Printf("ledger   switching %.4f J\n", l.SwitchLoss)
+		fmt.Printf("ledger   overhead  %.4f J\n", l.Overhead)
+		fmt.Printf("ledger   residual  %.4f J\n", res.Stored)
+		fmt.Printf("ledger   balance error %.2e\n", res.EnergyBalanceError())
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteSeriesCSV(f, res.Buffer, res.Samples); err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d samples to %s\n", len(res.Samples), *record)
+	}
+}
+
+func loadTrace(name, file string, seed uint64) (*trace.Trace, error) {
+	if file == "" {
+		return namedTrace(name, seed)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(file, f)
+}

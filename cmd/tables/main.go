@@ -1,0 +1,92 @@
+// Command tables regenerates the paper's evaluation tables (1–5), the §5.1
+// overhead characterization, and the headline improvement numbers.
+//
+// Usage:
+//
+//	tables [-table 1|2|3|4|5|overhead|all] [-seed n] [-csv]
+//
+// Tables 2, 4 and 5 require the full evaluation grid (4 benchmarks ×
+// 5 traces × 5 buffers ≈ one minute of simulation, parallelized).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"react/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("table", "all", "which table: 1, 2, 3, 4, 5, overhead, fig7, all")
+		seed  = flag.Uint64("seed", 1, "trace/event seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed}
+	var tables []*experiments.Table
+
+	needGrid := map[string]bool{"2": true, "4": true, "5": true, "fig7": true, "all": true}[*which]
+	var grid *experiments.Grid
+	if needGrid {
+		var err error
+		fmt.Fprintln(os.Stderr, "tables: running the evaluation grid (4 benchmarks × 5 traces × 5 buffers)...")
+		grid, err = experiments.RunGrid(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+
+	add := func(t *experiments.Table) { tables = append(tables, t) }
+	switch *which {
+	case "1":
+		add(experiments.Table1())
+	case "3":
+		add(experiments.Table3(*seed))
+	case "2":
+		add(experiments.Table2(grid))
+	case "4":
+		add(experiments.Table4(grid))
+	case "5":
+		add(experiments.Table5(grid))
+	case "fig7":
+		add(experiments.ComputeFigure7(grid).Table())
+	case "overhead":
+		o, err := experiments.RunOverhead(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		add(o.Table())
+	case "all":
+		add(experiments.Table1())
+		add(experiments.Table3(*seed))
+		add(experiments.Table4(grid))
+		add(experiments.Table2(grid))
+		add(experiments.Table5(grid))
+		add(experiments.ComputeFigure7(grid).Table())
+		o, err := experiments.RunOverhead(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		add(o.Table())
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q\n", *which)
+		os.Exit(2)
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+	}
+}

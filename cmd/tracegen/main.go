@@ -1,0 +1,103 @@
+// Command tracegen generates, inspects and exports the synthetic power
+// traces used by the evaluation.
+//
+//	tracegen -list                 show statistics for every built-in trace
+//	tracegen -trace cart -o x.csv  export one trace as CSV
+//	tracegen -inspect f.csv        show statistics for an external trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"react/internal/trace"
+)
+
+var builtins = []struct {
+	key string
+	gen func(uint64) *trace.Trace
+}{
+	{"cart", trace.RFCart},
+	{"obstructed", trace.RFObstructed},
+	{"mobile", trace.RFMobile},
+	{"campus", trace.SolarCampus},
+	{"commute", trace.SolarCommute},
+	{"pedestrian", trace.Fig1Pedestrian},
+	{"night", trace.Night},
+}
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "show statistics for every built-in trace")
+		name    = flag.String("trace", "", "built-in trace to export")
+		outFile = flag.String("o", "", "output CSV file for -trace")
+		inspect = flag.String("inspect", "", "CSV trace file to summarize")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-16s %9s %12s %8s %10s %10s\n", "trace", "time (s)", "mean (mW)", "CV", "peak (mW)", "energy (J)")
+		for _, b := range builtins {
+			printStats(b.gen(*seed))
+		}
+	case *name != "":
+		tr := find(*name, *seed)
+		if tr == nil {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q\n", *name)
+			os.Exit(2)
+		}
+		w := os.Stdout
+		if *outFile != "" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+		if *outFile != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d samples)\n", *outFile, len(tr.Power))
+		}
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(*inspect, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-16s %9s %12s %8s %10s %10s\n", "trace", "time (s)", "mean (mW)", "CV", "peak (mW)", "energy (J)")
+		printStats(tr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func find(key string, seed uint64) *trace.Trace {
+	for _, b := range builtins {
+		if b.key == key {
+			return b.gen(seed)
+		}
+	}
+	return nil
+}
+
+func printStats(tr *trace.Trace) {
+	s := tr.Stats()
+	fmt.Printf("%-16s %9.0f %12.3f %7.0f%% %10.2f %10.3f\n",
+		tr.Name, s.Duration, s.Mean*1e3, s.CV*100, s.Peak*1e3, s.Energy)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate a batteryless device on a bursty RF power trace,
+// once with a conventional fixed 770 µF buffer capacitor and once with a
+// REACT adaptive buffer, and compare what the device got done.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"react"
+)
+
+func main() {
+	tr := react.RFCart(1) // bursty office RF trace (313 s, 2.12 mW mean)
+
+	run := func(buf react.Buffer) react.Result {
+		dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
+		res, err := react.Run(react.SimConfig{
+			Frontend: react.NewFrontend(tr, nil),
+			Buffer:   buf,
+			Device:   dev,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	static := run(react.NewStatic(react.StaticConfig{
+		Name: "770 µF static", C: 770e-6, VMax: 3.6, LeakI: 0.77e-6, VRated: 6.3,
+	}))
+	adaptive := run(react.NewREACT(react.DefaultConfig()))
+
+	fmt.Printf("trace: %s (%.0f s, mean %.2f mW)\n\n", tr.Name, tr.Duration(), tr.Stats().Mean*1e3)
+	for _, r := range []react.Result{static, adaptive} {
+		fmt.Printf("%-14s latency %5.1f s   on-time %5.1f s   AES blocks %5.0f   clipped %5.1f mJ\n",
+			r.Buffer, r.Latency, r.OnTime, r.Metrics["blocks"], r.Ledger.Clipped*1e3)
+	}
+	gain := adaptive.Metrics["blocks"]/static.Metrics["blocks"] - 1
+	fmt.Printf("\nREACT did %.0f%% more work: it starts as fast as the small buffer\n", gain*100)
+	fmt.Println("but expands its capacitor banks during power bursts instead of clipping.")
+}

@@ -1,0 +1,100 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFIPS197AppendixB checks the worked example from the standard.
+func TestFIPS197AppendixB(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Errorf("ciphertext %x, want %x", got, want)
+	}
+}
+
+// TestFIPS197AppendixC checks the AES-128 known-answer vector.
+func TestFIPS197AppendixC(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Errorf("ciphertext %x, want %x", got, want)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Errorf("decrypt %x, want %x", back, pt)
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := New(make([]byte, 24)); err == nil {
+		t.Error("24-byte key must be rejected (AES-128 only)")
+	}
+}
+
+func TestInPlace(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	c, _ := New(key)
+	buf := unhex(t, "00112233445566778899aabbccddeeff")
+	orig := append([]byte(nil), buf...)
+	c.Encrypt(buf, buf)
+	c.Decrypt(buf, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Error("in-place round trip failed")
+	}
+}
+
+// TestAgainstStdlib cross-checks random keys and blocks against crypto/aes.
+func TestAgainstStdlib(t *testing.T) {
+	f := func(key, block [16]byte) bool {
+		ours, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		ref, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, block[:])
+		ref.Encrypt(want, block[:])
+		if !bytes.Equal(got, want) {
+			return false
+		}
+		back := make([]byte, 16)
+		ours.Decrypt(back, got)
+		return bytes.Equal(back, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package buffer defines the common interface all energy-buffer designs
+// implement — the static baselines, the Morphy unified array, and REACT —
+// plus the energy ledger used to audit conservation across a simulation.
+package buffer
+
+// Ledger accumulates where every joule that entered a buffer went. The
+// simulator asserts conservation: Harvested + initial stored = Consumed +
+// Clipped + Leaked + SwitchLoss + Overhead + residual stored.
+type Ledger struct {
+	Harvested  float64 // energy delivered into the buffer by the frontend
+	Consumed   float64 // energy delivered to the load
+	Clipped    float64 // energy discarded by overvoltage protection
+	Leaked     float64 // energy lost to capacitor leakage
+	SwitchLoss float64 // energy dissipated in switches/diodes during reconfiguration and conduction
+	Overhead   float64 // energy consumed by the buffer's own management hardware
+}
+
+// TotalLoss returns the energy lost to all non-load sinks.
+func (l *Ledger) TotalLoss() float64 {
+	return l.Clipped + l.Leaked + l.SwitchLoss + l.Overhead
+}
+
+// Buffer is an energy store between the harvesting frontend and the device.
+//
+// Call order within one simulation tick: Harvest, Draw (possibly several),
+// then Tick to advance internal processes (diode relaxation, leakage,
+// clipping, controller polling).
+type Buffer interface {
+	// Name identifies the design in tables ("770 µF", "REACT", ...).
+	Name() string
+	// Harvest deposits dE joules arriving from the frontend.
+	Harvest(dE float64)
+	// Draw withdraws up to dE joules for the load and returns the energy
+	// actually supplied (less when the buffer runs dry).
+	Draw(dE float64) float64
+	// OutputVoltage is the supply rail voltage presented to the device.
+	OutputVoltage() float64
+	// Stored is the total energy currently held, including energy below
+	// the device's operating range.
+	Stored() float64
+	// Capacitance is the present equivalent capacitance at the rail.
+	Capacitance() float64
+	// Tick advances time by dt seconds. deviceOn reports whether the
+	// computational backend is powered, which gates software-polled
+	// controllers (REACT's controller runs on the device itself).
+	Tick(now, dt float64, deviceOn bool)
+	// Ledger exposes the accumulated energy accounting.
+	Ledger() *Ledger
+	// SoftwareOverheadFraction is the fraction of device CPU time consumed
+	// by the buffer's management software (0 for designs with no software
+	// component or an externally powered controller).
+	SoftwareOverheadFraction() float64
+}
+
+// Leveler is implemented by buffers whose capacitance level is a usable
+// surrogate for stored energy (§3.4.1): software can wait for a level that
+// guarantees enough energy for an atomic operation.
+type Leveler interface {
+	// Level is the current capacitance step (0 = minimum configuration).
+	Level() int
+	// MaxLevel is the largest reachable level.
+	MaxLevel() int
+	// GuaranteedEnergy returns the usable energy (above the device's
+	// minimum operating voltage) that reaching the given level implies.
+	GuaranteedEnergy(level int) float64
+}
+
+// LevelFor returns the smallest level whose guarantee covers the requested
+// energy, or max level (and false) if no level guarantees it.
+func LevelFor(l Leveler, energy float64) (int, bool) {
+	for lvl := 0; lvl <= l.MaxLevel(); lvl++ {
+		if l.GuaranteedEnergy(lvl) >= energy {
+			return lvl, true
+		}
+	}
+	return l.MaxLevel(), false
+}
+
+// EnableHinter is implemented by buffers that direct the power gate's
+// enable voltage instead of accepting the platform default — the Dewdrop
+// (NSDI'11) approach of waking the system at a task-matched voltage.
+type EnableHinter interface {
+	// EnableVoltage returns the buffer-recommended wake-up voltage.
+	EnableVoltage() float64
+}

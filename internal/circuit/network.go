@@ -1,0 +1,190 @@
+package circuit
+
+import "math"
+
+// Node is any storage element that presents a two-terminal capacitive
+// interface: an equivalent capacitance, a terminal voltage, and the ability
+// to accept terminal charge. Single capacitors, series chains, and REACT
+// banks all satisfy it, which lets the charge-sharing solvers below operate
+// on heterogeneous networks.
+type Node interface {
+	// Capacitance is the equivalent capacitance seen at the terminal.
+	Capacitance() float64
+	// Voltage is the terminal voltage.
+	Voltage() float64
+	// AddCharge moves dq through the terminal (negative to withdraw) and
+	// returns the charge actually moved (withdrawals stop at empty).
+	AddCharge(dq float64) float64
+	// Energy is the total energy stored inside the element.
+	Energy() float64
+}
+
+// Chain is a set of capacitors connected in series. Terminal charge passes
+// through every member equally; terminal voltage is the sum of member
+// voltages. Members need not hold equal charge — an imbalanced chain is how
+// Morphy-style networks lose energy when later re-paralleled.
+type Chain struct {
+	Caps []*Capacitor
+}
+
+// NewChain builds a series chain over caps.
+func NewChain(caps ...*Capacitor) *Chain { return &Chain{Caps: caps} }
+
+// Capacitance returns the series-equivalent capacitance 1/Σ(1/Cᵢ).
+func (ch *Chain) Capacitance() float64 {
+	inv := 0.0
+	for _, c := range ch.Caps {
+		if c.C == 0 {
+			return 0
+		}
+		inv += 1 / c.C
+	}
+	if inv == 0 {
+		return 0
+	}
+	return 1 / inv
+}
+
+// Voltage returns the terminal voltage Σ Vᵢ.
+func (ch *Chain) Voltage() float64 {
+	v := 0.0
+	for _, c := range ch.Caps {
+		v += c.Voltage()
+	}
+	return v
+}
+
+// Energy returns the total stored energy Σ qᵢ²/(2Cᵢ).
+func (ch *Chain) Energy() float64 {
+	e := 0.0
+	for _, c := range ch.Caps {
+		e += c.Energy()
+	}
+	return e
+}
+
+// AddCharge moves dq through the chain terminal: every member's charge
+// changes by dq (series current is common). A member whose charge crosses
+// zero keeps conducting and charges in reverse — exactly what happens to a
+// drained capacitor in a series string without bypass diodes. Discharge is
+// bounded by the terminal voltage reaching zero, not by any single member.
+func (ch *Chain) AddCharge(dq float64) float64 {
+	for _, c := range ch.Caps {
+		c.Q += dq
+	}
+	return dq
+}
+
+// EqualizeParallel connects the nodes in parallel and lets charge
+// redistribute until all terminal voltages are equal, conserving total
+// terminal charge. It returns the common final voltage and the energy
+// dissipated in the interconnect (always ≥ 0 up to rounding).
+//
+// This is the lossy operation at the heart of the paper's §3.3.1 analysis:
+// a unified switched-capacitor array pays it on every reconfiguration,
+// while REACT's isolated banks never connect charged elements at different
+// potentials.
+func EqualizeParallel(nodes ...Node) (v, loss float64) {
+	if len(nodes) == 0 {
+		return 0, 0
+	}
+	var csum, qsum, before float64
+	for _, n := range nodes {
+		c := n.Capacitance()
+		csum += c
+		qsum += c * n.Voltage()
+		before += n.Energy()
+	}
+	if csum == 0 {
+		return 0, 0
+	}
+	v = qsum / csum
+	after := 0.0
+	for _, n := range nodes {
+		n.AddCharge(n.Capacitance() * (v - n.Voltage()))
+		after += n.Energy()
+	}
+	loss = before - after
+	if loss < 0 && loss > -1e-15 {
+		loss = 0 // rounding guard
+	}
+	return v, loss
+}
+
+// TransferOneWay conducts charge from src to dst through a diode with
+// forward drop vDrop, stopping when V(src) = V(dst) + vDrop (or immediately
+// if src is not above that level). It returns the charge moved and the
+// energy dissipated in the diode and interconnect.
+func TransferOneWay(src, dst Node, vDrop float64) (dq, loss float64) {
+	vs, vd := src.Voltage(), dst.Voltage()
+	if vs <= vd+vDrop {
+		return 0, 0
+	}
+	cs, cd := src.Capacitance(), dst.Capacitance()
+	if cs == 0 || cd == 0 {
+		return 0, 0
+	}
+	// Charge balance: vs - dq/cs = vd + dq/cd + vDrop.
+	dq = (vs - vd - vDrop) * cs * cd / (cs + cd)
+	before := src.Energy() + dst.Energy()
+	src.AddCharge(-dq)
+	dst.AddCharge(dq)
+	loss = before - src.Energy() - dst.Energy()
+	if loss < 0 && loss > -1e-15 {
+		loss = 0
+	}
+	return dq, loss
+}
+
+// StoreEnergy delivers dE joules into the node at constant power through a
+// diode with forward drop vDrop, integrating the charge exactly (including
+// from zero volts). It returns the charge delivered and the energy lost in
+// the drop; the remainder, dE − loss, ends up stored.
+//
+// Derivation: pushing charge dq into capacitance C at initial voltage v
+// stores v·dq + dq²/(2C); the source additionally pays vDrop·dq. Solving
+// dE = (v+vDrop)·dq + dq²/(2C) for dq gives the quadratic below.
+func StoreEnergy(n Node, dE, vDrop float64) (dq, loss float64) {
+	if dE <= 0 {
+		return 0, 0
+	}
+	c := n.Capacitance()
+	if c == 0 {
+		return 0, dE // nowhere to put it; burned in the source
+	}
+	v := n.Voltage() + vDrop
+	dq = c * (math.Sqrt(v*v+2*dE/c) - v)
+	n.AddCharge(dq)
+	loss = vDrop * dq
+	return dq, loss
+}
+
+// DrawEnergy withdraws up to dE joules from the node and returns the energy
+// actually removed (less than dE only if the node empties first). The
+// withdrawal integrates charge exactly over the voltage sag.
+func DrawEnergy(n Node, dE float64) float64 {
+	if dE <= 0 {
+		return 0
+	}
+	c := n.Capacitance()
+	v := n.Voltage()
+	if c == 0 || v <= 0 {
+		return 0
+	}
+	before := n.Energy()
+	// Energy extractable at the terminal before voltage reaches zero.
+	maxTerm := c * v * v / 2
+	var dq float64
+	if dE >= maxTerm {
+		dq = c * v
+	} else {
+		// v·dq − dq²/(2C) = dE  ⇒  dq = C(v − sqrt(v² − 2dE/C)).
+		dq = c * (v - math.Sqrt(v*v-2*dE/c))
+	}
+	n.AddCharge(-dq)
+	drawn := before - n.Energy()
+	if drawn < 0 {
+		drawn = 0
+	}
+	return drawn
+}

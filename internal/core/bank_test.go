@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func testBank(n int, unit float64) *Bank {
+	return NewBank(BankSpec{N: n, UnitC: unit})
+}
+
+func TestBankCapacitancePerState(t *testing.T) {
+	b := testBank(3, 220e-6)
+	if b.Capacitance() != 0 {
+		t.Error("disconnected bank must present no capacitance")
+	}
+	b.Reconfigure(Series)
+	approx(t, b.Capacitance(), 220e-6/3, 1e-12, "series capacitance C/N")
+	b.Reconfigure(Parallel)
+	approx(t, b.Capacitance(), 3*220e-6, 1e-12, "parallel capacitance N·C")
+}
+
+func TestBankVoltagePerState(t *testing.T) {
+	b := testBank(4, 1e-3)
+	b.SetCapVoltage(1.5)
+	b.Reconfigure(Series)
+	approx(t, b.Voltage(), 6.0, 1e-12, "series terminal voltage N·V")
+	b.Reconfigure(Parallel)
+	approx(t, b.Voltage(), 1.5, 1e-12, "parallel terminal voltage V")
+}
+
+// TestBankReconfigurationLossless verifies the core REACT property (§3.3.3):
+// switching a bank between series and parallel moves no charge between its
+// equal-voltage capacitors, so stored energy is conserved exactly.
+func TestBankReconfigurationLossless(t *testing.T) {
+	b := testBank(3, 880e-6)
+	b.Reconfigure(Parallel)
+	b.SetCapVoltage(1.9)
+	before := b.Energy()
+	b.Reconfigure(Series)
+	approx(t, b.Energy(), before, 0, "parallel→series conserves energy")
+	approx(t, b.Voltage(), 3*1.9, 1e-12, "series boosts terminal voltage ×N")
+	b.Reconfigure(Parallel)
+	approx(t, b.Energy(), before, 0, "series→parallel conserves energy")
+}
+
+func TestBankAddChargeSeries(t *testing.T) {
+	b := testBank(2, 1e-3)
+	b.Reconfigure(Series)
+	moved := b.AddCharge(1e-3)
+	approx(t, moved, 1e-3, 0, "series accepts terminal charge")
+	// Series: every capacitor carries the full dq -> per-cap V = 1 V,
+	// terminal V = 2 V, stored energy = 2 × ½CV² = 1 mJ.
+	approx(t, b.Voltage(), 2.0, 1e-12, "series terminal voltage")
+	approx(t, b.Energy(), 1e-3, 1e-15, "series stored energy")
+}
+
+func TestBankAddChargeParallel(t *testing.T) {
+	b := testBank(2, 1e-3)
+	b.Reconfigure(Parallel)
+	b.AddCharge(1e-3)
+	// Parallel: dq splits across the two caps -> per-cap V = 0.5 V.
+	approx(t, b.Voltage(), 0.5, 1e-12, "parallel terminal voltage")
+	approx(t, b.Energy(), 0.25e-3, 1e-15, "parallel stored energy")
+}
+
+func TestBankAddChargeDisconnected(t *testing.T) {
+	b := testBank(2, 1e-3)
+	if b.AddCharge(1e-3) != 0 {
+		t.Error("disconnected bank must not accept charge")
+	}
+}
+
+func TestBankWithdrawTruncates(t *testing.T) {
+	b := testBank(2, 1e-3)
+	b.Reconfigure(Parallel)
+	b.SetCapVoltage(1.0)
+	moved := b.AddCharge(-5e-3)
+	approx(t, moved, -2e-3, 1e-15, "withdrawal stops at empty (2 caps × 1 mC)")
+	approx(t, b.Energy(), 0, 0, "bank empty")
+}
+
+func TestBankClipTerminal(t *testing.T) {
+	b := testBank(2, 1e-3)
+	b.Reconfigure(Series)
+	b.SetCapVoltage(2.5) // terminal 5 V
+	lost := b.ClipTerminal(3.6)
+	approx(t, b.Voltage(), 3.6, 1e-12, "series terminal clipped")
+	if lost <= 0 {
+		t.Error("clip must discard energy")
+	}
+	if b.ClipTerminal(3.6) != 0 {
+		t.Error("already within limits")
+	}
+}
+
+func TestBankLeak(t *testing.T) {
+	b := NewBank(BankSpec{N: 3, UnitC: 220e-6, LeakI: 28e-6, VRated: 6.3})
+	b.SetCapVoltage(3.15)
+	lost := b.Leak(1.0)
+	if lost <= 0 {
+		t.Error("charged bank must leak")
+	}
+	empty := NewBank(BankSpec{N: 3, UnitC: 220e-6, LeakI: 28e-6, VRated: 6.3})
+	if empty.Leak(1.0) != 0 {
+		t.Error("empty bank cannot leak")
+	}
+}
+
+func TestBankStateString(t *testing.T) {
+	cases := map[BankState]string{
+		Disconnected: "disconnected",
+		Series:       "series",
+		Parallel:     "parallel",
+		BankState(9): "BankState(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// Property: for any charge level, reconfiguration never changes stored
+// energy, and terminal charge moved in equals energy gained at the terminal
+// voltage (first-order).
+func TestBankReconfigureEnergyProperty(t *testing.T) {
+	f := func(vu uint16, nu uint8) bool {
+		n := 2 + int(nu)%4
+		b := testBank(n, 470e-6)
+		b.Reconfigure(Parallel)
+		b.SetCapVoltage(float64(vu) / 65535 * 5)
+		e := b.Energy()
+		b.Reconfigure(Series)
+		if math.Abs(b.Energy()-e) > 1e-18 {
+			return false
+		}
+		b.Reconfigure(Parallel)
+		return math.Abs(b.Energy()-e) <= 1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReclamationQuadraticFactor reproduces §3.3.4: draining a bank in
+// series down to V_low leaves ½·C_unit·V_low²/N unusable — an N² reduction
+// versus disconnecting the parallel-configured bank at V_low, which strands
+// ½·N·C_unit·V_low².
+func TestReclamationQuadraticFactor(t *testing.T) {
+	const n, unit, vLow = 4, 1e-3, 1.9
+	// Parallel bank drained to V_low, then reclaimed via series and drained
+	// to V_low again.
+	b := testBank(n, unit)
+	b.Reconfigure(Parallel)
+	b.SetCapVoltage(vLow)
+	stranded := 0.5 * unit * vLow * vLow / n
+	b.Reconfigure(Series)
+	approx(t, b.Voltage(), n*vLow, 1e-12, "reclamation boosts ×N")
+	// Drain the series bank back down to terminal V_low.
+	b.AddCharge(-(b.Voltage() - vLow) * b.Capacitance())
+	approx(t, b.Energy(), stranded, 1e-12, "residual = ½·C_unit·V_low²/N")
+
+	// Without reclamation the whole parallel cold-start energy strands.
+	noReclaim := 0.5 * float64(n) * unit * vLow * vLow
+	approx(t, noReclaim/b.Energy(), n*n, 1e-9, "reclamation wins by N²")
+}

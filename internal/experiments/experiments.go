@@ -1,0 +1,213 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (§5) plus the §2 background analysis, mapping each onto the
+// simulation substrate. The cmd/ tools and the top-level benchmarks are
+// thin wrappers over this package; see DESIGN.md for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"react/internal/buffer"
+	"react/internal/capybara"
+	"react/internal/core"
+	"react/internal/harvest"
+	"react/internal/mcu"
+	"react/internal/morphy"
+	"react/internal/radio"
+	"react/internal/sim"
+	"react/internal/trace"
+	"react/internal/workload"
+)
+
+// BufferNames lists the five evaluated buffers in the paper's column order.
+var BufferNames = []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT"}
+
+// BenchmarkNames lists the four benchmarks in presentation order.
+var BenchmarkNames = []string{"DE", "SC", "RT", "PF"}
+
+// staticLeak returns the leakage current (at 6.3 V rating) for a static
+// buffer of capacitance c: 1 µA per mF, a low-leakage bulk-capacitor
+// figure consistent with buffers that must hold charge across long
+// recharge gaps.
+func staticLeak(c float64) float64 { return c * 1e-3 }
+
+// NewBuffer constructs a fresh instance of one of the evaluated buffers.
+// Beyond the paper's five (BufferNames), the related-work extensions
+// "Capybara" and "Dewdrop" are also constructible for the ablation and
+// extension experiments. It panics on an unknown name — the set is fixed.
+func NewBuffer(name string) buffer.Buffer {
+	switch name {
+	case "770 µF":
+		return buffer.NewStatic(buffer.StaticConfig{
+			Name: name, C: 770e-6, VMax: 3.6, LeakI: staticLeak(770e-6), VRated: 6.3,
+		})
+	case "10 mF":
+		return buffer.NewStatic(buffer.StaticConfig{
+			Name: name, C: 10e-3, VMax: 3.6, LeakI: staticLeak(10e-3), VRated: 6.3,
+		})
+	case "17 mF":
+		return buffer.NewStatic(buffer.StaticConfig{
+			Name: name, C: 17e-3, VMax: 3.6, LeakI: staticLeak(17e-3), VRated: 6.3,
+		})
+	case "Morphy":
+		return morphy.New(morphy.DefaultConfig())
+	case "REACT":
+		return core.New(core.DefaultConfig())
+	case "Capybara":
+		return capybara.New(capybara.DefaultConfig())
+	case "Dewdrop":
+		// Task-matched to the atomic radio transmission with the
+		// workloads' longevity margin.
+		return buffer.NewDewdrop(buffer.DewdropConfig{
+			C: 2.2e-3, VMax: 3.6, VMin: 1.8,
+			LeakI: staticLeak(2.2e-3), VRated: 6.3,
+			TaskEnergy: radio.DefaultProfile().TX.Energy(3.3) * workload.LongevityMargin,
+		})
+	}
+	panic("experiments: unknown buffer " + name)
+}
+
+// pfInterarrival returns the mean packet interarrival time for the PF
+// benchmark: denser for the short RF traces, sparser for the long solar
+// walks, keeping total arrivals in the same range the paper reports.
+func pfInterarrival(tr *trace.Trace) float64 {
+	if tr.Duration() <= 1000 {
+		return 6
+	}
+	return 12
+}
+
+// traceSeed derives a deterministic event seed from a trace name so PF
+// arrival schedules are repeatable per trace but uncorrelated across
+// traces.
+func traceSeed(name string, seed uint64) uint64 {
+	h := seed*0x100000001b3 + 14695981039346656037
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// DEActiveI is the device current while running the DE benchmark. Software
+// AES on a low-clocked MSP430-class core draws well under the generic
+// active figure; ≈2 mW at 3.3 V keeps the benchmark's consumption below the
+// traces' burst power, which is the regime the paper's Table 2 reflects
+// (small buffers clip during bursts, large ones capture them).
+const DEActiveI = 0.6e-3
+
+// NewWorkload constructs a fresh workload for a benchmark over a trace.
+func NewWorkload(bench string, tr *trace.Trace, seed uint64) mcu.Workload {
+	prof := mcu.DefaultProfile()
+	switch bench {
+	case "DE":
+		return workload.NewDataEncryption(DEActiveI)
+	case "SC":
+		return workload.NewSenseCompute(prof.SleepI)
+	case "RT":
+		return workload.NewRadioTransmit(prof.SleepI)
+	case "PF":
+		arrivals := radio.Arrivals(traceSeed(tr.Name, seed), tr.Duration()+120, pfInterarrival(tr))
+		return workload.NewPacketForward(prof.SleepI, arrivals)
+	}
+	panic("experiments: unknown benchmark " + bench)
+}
+
+// Options tunes a run; the zero value uses the evaluation defaults.
+type Options struct {
+	Seed     uint64  // trace/event seed (default 1)
+	DT       float64 // timestep (default 1 ms)
+	RecordDT float64 // voltage recording interval, 0 = off
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// RunCell simulates one (trace × buffer × benchmark) cell of the
+// evaluation grid.
+func RunCell(tr *trace.Trace, bufName, bench string, opt Options) (sim.Result, error) {
+	buf := NewBuffer(bufName)
+	dev := mcu.NewDevice(mcu.DefaultProfile(), NewWorkload(bench, tr, opt.seed()))
+	return sim.Run(sim.Config{
+		DT:       opt.DT,
+		Frontend: harvest.NewFrontend(tr, nil),
+		Buffer:   buf,
+		Device:   dev,
+		RecordDT: opt.RecordDT,
+	})
+}
+
+// Grid holds the full evaluation grid, indexed [benchmark][trace][buffer].
+type Grid struct {
+	Traces  []*trace.Trace
+	Results map[string]map[string]map[string]sim.Result
+}
+
+// RunGrid executes the complete evaluation (4 benchmarks × 5 traces × 5
+// buffers) in parallel and returns the populated grid.
+func RunGrid(opt Options) (*Grid, error) {
+	traces := trace.Evaluation(opt.seed())
+	g := &Grid{Traces: traces, Results: map[string]map[string]map[string]sim.Result{}}
+	type cell struct {
+		bench, tr, buf string
+		res            sim.Result
+		err            error
+	}
+	var jobs []cell
+	for _, bench := range BenchmarkNames {
+		g.Results[bench] = map[string]map[string]sim.Result{}
+		for _, tr := range traces {
+			g.Results[bench][tr.Name] = map[string]sim.Result{}
+			for _, buf := range BufferNames {
+				jobs = append(jobs, cell{bench: bench, tr: tr.Name, buf: buf})
+			}
+		}
+	}
+	byName := map[string]*trace.Trace{}
+	for _, tr := range traces {
+		byName[tr.Name] = tr
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func(c *cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c.res, c.err = RunCell(byName[c.tr], c.buf, c.bench, opt)
+		}(&jobs[i])
+	}
+	wg.Wait()
+	for _, c := range jobs {
+		if c.err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s/%s: %w", c.bench, c.tr, c.buf, c.err)
+		}
+		g.Results[c.bench][c.tr][c.buf] = c.res
+	}
+	return g, nil
+}
+
+// Perf returns the figure of merit for one result: completed blocks (DE),
+// successful samples (SC), successful transmissions (RT), and forwarded
+// traffic rx+tx (PF).
+func Perf(bench string, r sim.Result) float64 {
+	switch bench {
+	case "DE":
+		return r.Metrics["blocks"]
+	case "SC":
+		return r.Metrics["samples"]
+	case "RT":
+		return r.Metrics["tx"]
+	case "PF":
+		return r.Metrics["rx"] + r.Metrics["tx"]
+	}
+	return 0
+}

@@ -1,0 +1,131 @@
+// Package harvest models the power-delivery frontend between an ambient
+// energy source and the buffer: the converter chips whose load-dependent
+// efficiency the paper's Ekho-style replay system emulates (§4.3), and the
+// replay frontend itself.
+package harvest
+
+import (
+	"math"
+
+	"react/internal/trace"
+)
+
+// Converter transforms harvested source power into power delivered to the
+// buffer, as a function of the buffer voltage it is charging into.
+type Converter interface {
+	Name() string
+	// Deliver returns the power (watts) delivered to a buffer at voltage
+	// vBuf when the source provides pSource watts.
+	Deliver(pSource, vBuf float64) float64
+}
+
+// Identity passes source power through unchanged. The paper's evaluation
+// traces were recorded at the harvester output and replayed by a DAC driving
+// the buffer directly, so replaying them needs no further conversion.
+type Identity struct{}
+
+// Name implements Converter.
+func (Identity) Name() string { return "identity" }
+
+// Deliver implements Converter.
+func (Identity) Deliver(pSource, vBuf float64) float64 {
+	if pSource < 0 {
+		return 0
+	}
+	return pSource
+}
+
+// RFRectifier approximates a commercial 915 MHz RF-to-DC power harvester
+// (Powercast P2110B class): a sensitivity floor below which nothing is
+// delivered, efficiency that climbs steeply with input power, peaks around
+// the milliwatt range, and rolls off slightly at high power.
+type RFRectifier struct {
+	// Floor is the minimum input power that produces any output (W).
+	Floor float64
+	// PeakEff is the peak conversion efficiency (0..1).
+	PeakEff float64
+	// PeakPower is the input power at which efficiency peaks (W).
+	PeakPower float64
+}
+
+// DefaultRF returns parameters matching the P2110B datasheet shape:
+// ~ -11 dBm sensitivity, ~55 % peak efficiency near 1 mW.
+func DefaultRF() *RFRectifier {
+	return &RFRectifier{Floor: 80e-6, PeakEff: 0.55, PeakPower: 1e-3}
+}
+
+// Name implements Converter.
+func (r *RFRectifier) Name() string { return "rf-rectifier" }
+
+// Deliver implements Converter.
+func (r *RFRectifier) Deliver(pSource, vBuf float64) float64 {
+	if pSource <= r.Floor {
+		return 0
+	}
+	// Efficiency follows a log-parabola peaking at PeakPower, a standard
+	// fit for rectenna efficiency curves.
+	x := math.Log10(pSource / r.PeakPower)
+	eff := r.PeakEff * (1 - 0.12*x*x)
+	if eff < 0 {
+		eff = 0
+	}
+	return pSource * eff
+}
+
+// SolarBoost approximates a solar energy-harvesting power-management chip
+// (TI bq25570 class): an inefficient cold-start path until the storage
+// element reaches the main-boost threshold, then a high-efficiency boost
+// converter with a small quiescent draw.
+type SolarBoost struct {
+	// ColdStartV is the buffer voltage below which the chip runs its
+	// low-efficiency cold-start charger.
+	ColdStartV float64
+	// ColdEff and MainEff are the two efficiency regimes (0..1).
+	ColdEff, MainEff float64
+	// QuiescentW is the chip's own draw while the main converter runs.
+	QuiescentW float64
+}
+
+// DefaultSolar returns parameters matching the bq25570 datasheet shape.
+func DefaultSolar() *SolarBoost {
+	return &SolarBoost{ColdStartV: 1.8, ColdEff: 0.05, MainEff: 0.85, QuiescentW: 1.5e-6}
+}
+
+// Name implements Converter.
+func (s *SolarBoost) Name() string { return "solar-boost" }
+
+// Deliver implements Converter.
+func (s *SolarBoost) Deliver(pSource, vBuf float64) float64 {
+	if pSource <= 0 {
+		return 0
+	}
+	if vBuf < s.ColdStartV {
+		return pSource * s.ColdEff
+	}
+	out := pSource*s.MainEff - s.QuiescentW
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// Frontend replays a power trace through a converter — the software
+// equivalent of the paper's record-and-replay power controller.
+type Frontend struct {
+	Trace *trace.Trace
+	Conv  Converter
+}
+
+// NewFrontend pairs a trace with a converter; a nil converter means
+// Identity (replaying recorded harvester output directly).
+func NewFrontend(tr *trace.Trace, conv Converter) *Frontend {
+	if conv == nil {
+		conv = Identity{}
+	}
+	return &Frontend{Trace: tr, Conv: conv}
+}
+
+// Power returns the power delivered to a buffer at voltage vBuf at time t.
+func (f *Frontend) Power(t, vBuf float64) float64 {
+	return f.Conv.Deliver(f.Trace.At(t), vBuf)
+}

@@ -1,0 +1,101 @@
+package harvest
+
+import (
+	"math"
+	"testing"
+
+	"react/internal/trace"
+)
+
+func TestIdentityPassesThrough(t *testing.T) {
+	c := Identity{}
+	if got := c.Deliver(5e-3, 2.0); got != 5e-3 {
+		t.Errorf("identity delivered %g", got)
+	}
+	if got := c.Deliver(-1, 2.0); got != 0 {
+		t.Error("negative source power must deliver nothing")
+	}
+	if c.Name() == "" {
+		t.Error("converter must be named")
+	}
+}
+
+func TestRFRectifierFloor(t *testing.T) {
+	r := DefaultRF()
+	if r.Deliver(10e-6, 2.0) != 0 {
+		t.Error("input below the sensitivity floor must deliver nothing")
+	}
+}
+
+func TestRFRectifierPeakEfficiency(t *testing.T) {
+	r := DefaultRF()
+	atPeak := r.Deliver(r.PeakPower, 2.0) / r.PeakPower
+	if math.Abs(atPeak-r.PeakEff) > 1e-9 {
+		t.Errorf("efficiency at peak %g, want %g", atPeak, r.PeakEff)
+	}
+	// Efficiency falls off both below and above the peak.
+	below := r.Deliver(r.PeakPower/30, 2.0) / (r.PeakPower / 30)
+	above := r.Deliver(r.PeakPower*30, 2.0) / (r.PeakPower * 30)
+	if below >= atPeak || above >= atPeak {
+		t.Errorf("efficiency curve should peak: below %.3f peak %.3f above %.3f", below, atPeak, above)
+	}
+	if below < 0 || above < 0 {
+		t.Error("efficiency must never go negative")
+	}
+}
+
+func TestRFRectifierNeverNegative(t *testing.T) {
+	r := DefaultRF()
+	for _, p := range []float64{1e-7, 1e-5, 1e-3, 1e-1, 10} {
+		if out := r.Deliver(p, 2.0); out < 0 {
+			t.Errorf("Deliver(%g) = %g", p, out)
+		}
+	}
+}
+
+func TestSolarBoostColdStart(t *testing.T) {
+	s := DefaultSolar()
+	cold := s.Deliver(10e-3, 1.0) // below the cold-start threshold
+	main := s.Deliver(10e-3, 2.5) // main boost running
+	if cold >= main {
+		t.Errorf("cold start (%g) must be far less efficient than main boost (%g)", cold, main)
+	}
+	if math.Abs(cold-10e-3*s.ColdEff) > 1e-12 {
+		t.Errorf("cold-start efficiency wrong: %g", cold)
+	}
+}
+
+func TestSolarBoostQuiescentFloor(t *testing.T) {
+	s := DefaultSolar()
+	// Input so weak the quiescent draw eats it entirely.
+	if out := s.Deliver(1e-6, 2.5); out != 0 {
+		t.Errorf("sub-quiescent input should deliver nothing, got %g", out)
+	}
+	if s.Deliver(0, 2.5) != 0 {
+		t.Error("zero input delivers nothing")
+	}
+}
+
+func TestFrontendReplaysTrace(t *testing.T) {
+	tr := &trace.Trace{Name: "t", DT: 1, Power: []float64{1e-3, 3e-3}}
+	f := NewFrontend(tr, nil) // nil converter = identity
+	if got := f.Power(0, 2.0); got != 1e-3 {
+		t.Errorf("frontend power %g", got)
+	}
+	if got := f.Power(0.5, 2.0); math.Abs(got-2e-3) > 1e-12 {
+		t.Errorf("frontend should interpolate, got %g", got)
+	}
+	if got := f.Power(100, 2.0); got != 0 {
+		t.Error("past the trace end the frontend delivers nothing")
+	}
+}
+
+func TestFrontendAppliesConverter(t *testing.T) {
+	tr := &trace.Trace{Name: "t", DT: 1, Power: []float64{10e-3, 10e-3}}
+	f := NewFrontend(tr, DefaultSolar())
+	cold := f.Power(0, 1.0)
+	main := f.Power(0, 2.5)
+	if cold >= main {
+		t.Error("converter must shape delivered power by buffer voltage")
+	}
+}

@@ -1,0 +1,202 @@
+// Package mcu models the computational backend: an MSP430FR5994-class
+// microcontroller behind a power gate that enables it when the buffer
+// reaches the enable voltage (3.3 V) and cuts it off at the brownout
+// voltage (1.8 V) — the intermittent-operation envelope of §4.
+//
+// The device draws state-dependent current from the buffer, boots for a
+// fixed time after each power-up, and notifies its workload when power is
+// gained or lost so atomic operations can fail realistically.
+package mcu
+
+import "react/internal/buffer"
+
+// Profile is the electrical envelope of the device.
+type Profile struct {
+	VEnable   float64 // power-gate enable voltage
+	VBrownout float64 // cutoff voltage; in-flight atomic ops fail here
+	BootTime  float64 // seconds of active-current boot after power-up
+	ActiveI   float64 // active-mode current, amps
+	SleepI    float64 // deep-sleep current, amps
+}
+
+// DefaultProfile matches the paper's testbed: 3.3 V enable, 1.8 V cutoff,
+// 1.5 mA active (a typical low-power MCU deployment, §2.1.1), 4 µA sleep,
+// and a 5 ms boot/restore time.
+func DefaultProfile() Profile {
+	return Profile{
+		VEnable:   3.3,
+		VBrownout: 1.8,
+		BootTime:  5e-3,
+		ActiveI:   1.5e-3,
+		SleepI:    4e-6,
+	}
+}
+
+// State is the device power state.
+type State int
+
+const (
+	// Off: the power gate holds the device unpowered.
+	Off State = iota
+	// Booting: powered, restoring state, not yet running the workload.
+	Booting
+	// On: running the workload.
+	On
+)
+
+// Env is the view a workload gets of its execution environment on each
+// step.
+type Env struct {
+	// Now is the simulation time in seconds.
+	Now float64
+	// Voltage is the present supply voltage.
+	Voltage float64
+	// VMin is the brownout voltage below which the device loses power.
+	VMin float64
+	// Capacitance is the buffer's present equivalent capacitance. With
+	// Voltage it gives software the coarse stored-energy estimate the
+	// paper describes ("capacitance level is an effective surrogate for
+	// stored energy", §3.4.1).
+	Capacitance float64
+	// OverheadFrac is the fraction of CPU time consumed by the buffer's
+	// management software (REACT's 10 Hz poll costs 1.8 %).
+	OverheadFrac float64
+	// Levels exposes the buffer's capacitance-level interface when the
+	// buffer supports software-directed longevity (nil otherwise).
+	Levels buffer.Leveler
+}
+
+// UsableEnergy estimates the energy software can still extract before the
+// device browns out, from the observable capacitance level and rail
+// voltage: ½·C·(V² − V_min²).
+func (e *Env) UsableEnergy() float64 {
+	if e.Voltage <= e.VMin {
+		return 0
+	}
+	return 0.5 * e.Capacitance * (e.Voltage*e.Voltage - e.VMin*e.VMin)
+}
+
+// Workload is a benchmark program running on the device. Step is called
+// only while the device is On.
+type Workload interface {
+	// Name identifies the benchmark ("DE", "SC", "RT", "PF").
+	Name() string
+	// Step advances the workload by dt seconds and returns the current
+	// (amps) the device draws over that interval.
+	Step(env *Env, dt float64) float64
+	// PowerOn is called when boot completes at time now.
+	PowerOn(now float64)
+	// PowerLost is called on brownout; in-flight atomic work fails.
+	PowerLost(now float64)
+	// Metrics reports the benchmark counters.
+	Metrics() map[string]float64
+}
+
+// Device couples a Profile with a Workload and tracks the on/off statistics
+// the evaluation reports (latency, on-time, power-cycle lengths).
+type Device struct {
+	Prof Profile
+	WL   Workload
+
+	state    State
+	bootLeft float64
+
+	// FirstOn is the time the device first reached the enable voltage
+	// (system latency, Table 4); −1 until it happens.
+	FirstOn float64
+	// OnTime accumulates powered seconds.
+	OnTime float64
+	// Cycles counts completed power cycles; CycleTime accumulates their
+	// durations (mean cycle length is the §2.1.1 longevity measure).
+	Cycles     int
+	CycleTime  float64
+	cycleStart float64
+}
+
+// NewDevice builds a device in the Off state.
+func NewDevice(prof Profile, wl Workload) *Device {
+	return &Device{Prof: prof, WL: wl, FirstOn: -1}
+}
+
+// State returns the current power state.
+func (d *Device) State() State { return d.state }
+
+// Powered reports whether the device is drawing power (booting or on).
+func (d *Device) Powered() bool { return d.state != Off }
+
+// Step advances the device by dt seconds, drawing energy from buf.
+func (d *Device) Step(now, dt float64, buf buffer.Buffer) {
+	v := buf.OutputVoltage()
+	switch d.state {
+	case Off:
+		venable := d.Prof.VEnable
+		if h, ok := buf.(buffer.EnableHinter); ok {
+			venable = h.EnableVoltage()
+		}
+		if v >= venable {
+			d.state = Booting
+			d.bootLeft = d.Prof.BootTime
+			if d.FirstOn < 0 {
+				d.FirstOn = now
+			}
+			d.cycleStart = now
+		}
+		return
+	case Booting, On:
+		if v <= d.Prof.VBrownout {
+			d.powerLost(now)
+			return
+		}
+	}
+
+	var current float64
+	if d.state == Booting {
+		current = d.Prof.ActiveI
+		d.bootLeft -= dt
+		if d.bootLeft <= 0 {
+			d.state = On
+			d.WL.PowerOn(now)
+		}
+	} else {
+		env := Env{
+			Now:          now,
+			Voltage:      v,
+			VMin:         d.Prof.VBrownout,
+			Capacitance:  buf.Capacitance(),
+			OverheadFrac: buf.SoftwareOverheadFraction(),
+		}
+		if lv, ok := buf.(buffer.Leveler); ok {
+			env.Levels = lv
+		}
+		current = d.WL.Step(&env, dt)
+	}
+
+	need := v * current * dt
+	got := buf.Draw(need)
+	d.OnTime += dt
+	if got < need*(1-1e-9)-1e-15 {
+		// The buffer ran dry mid-step: brownout.
+		d.powerLost(now)
+	}
+}
+
+// powerLost gates the device off and closes the current power cycle.
+func (d *Device) powerLost(now float64) {
+	if d.state == On {
+		d.WL.PowerLost(now)
+	}
+	if d.state != Off {
+		d.Cycles++
+		d.CycleTime += now - d.cycleStart
+	}
+	d.state = Off
+}
+
+// MeanCycle returns the mean uninterrupted power-cycle length, or 0 when no
+// cycle has completed.
+func (d *Device) MeanCycle() float64 {
+	if d.Cycles == 0 {
+		return 0
+	}
+	return d.CycleTime / float64(d.Cycles)
+}

@@ -1,0 +1,78 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpEnergy(t *testing.T) {
+	p := DefaultProfile()
+	// 150 ms at 10 mA and 3.3 V ≈ 4.95 mJ: more than the usable energy of
+	// the 770 µF buffer (≈2.9 mJ between 3.3 V and 1.8 V), so blind
+	// transmissions there are doomed without input power (§5.4).
+	e := p.TX.Energy(3.3)
+	if math.Abs(e-4.95e-3) > 1e-9 {
+		t.Errorf("TX energy %g J, want 4.95 mJ", e)
+	}
+	if p.RX.Energy(3.3) >= e {
+		t.Error("receive window must cost far less than a transmission")
+	}
+}
+
+func TestArrivalsDeterministicAndSorted(t *testing.T) {
+	a := Arrivals(7, 300, 8)
+	b := Arrivals(7, 300, 8)
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed, different schedules")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different schedules")
+		}
+		if i > 0 && a[i].Arrival <= a[i-1].Arrival {
+			t.Fatal("arrivals must be strictly increasing")
+		}
+		if a[i].Arrival >= 300 {
+			t.Fatal("arrival beyond duration")
+		}
+		if a[i].Seq != i {
+			t.Fatal("sequence numbers must be consecutive")
+		}
+	}
+}
+
+func TestArrivalsMeanRate(t *testing.T) {
+	a := Arrivals(3, 100000, 8)
+	got := float64(len(a))
+	want := 100000.0 / 8
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("arrival count %.0f, want ≈%.0f", got, want)
+	}
+}
+
+func TestQueueFIFOAndOverflow(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(Packet{Seq: 0})
+	q.Push(Packet{Seq: 1})
+	q.Push(Packet{Seq: 2}) // evicts 0
+	if q.Dropped != 1 {
+		t.Errorf("dropped %d, want 1", q.Dropped)
+	}
+	p, ok := q.Pop()
+	if !ok || p.Seq != 1 {
+		t.Errorf("pop = %v,%v, want seq 1", p, ok)
+	}
+	p, ok = q.Pop()
+	if !ok || p.Seq != 2 {
+		t.Errorf("pop = %v,%v, want seq 2", p, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("empty queue must report not-ok")
+	}
+	if q.Len() != 0 {
+		t.Error("length after drain")
+	}
+}

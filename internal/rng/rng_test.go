@@ -1,0 +1,116 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+	c := New(8)
+	if New(7).Uint64() == c.Uint64() {
+		t.Error("different seeds should diverge immediately (splitmix64)")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %.4f, want ≈0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(3)
+	var sum, sumSq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %.4f, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %.4f, want ≈1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := r.Exp(8)
+		if x < 0 {
+			t.Fatal("exponential variate must be non-negative")
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-8) > 0.2 {
+		t.Errorf("exponential mean %.3f, want ≈8", mean)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("log-normal variate must be positive")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(6)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d of 7 values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero-value source should still generate values")
+	}
+}

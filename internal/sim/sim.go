@@ -1,0 +1,151 @@
+// Package sim is the discrete-time engine coupling a harvesting frontend,
+// an energy buffer, and the device running a workload — the software
+// equivalent of the paper's testbed (§4): power replay into the buffer,
+// power gate at the enable/brownout voltages, benchmark on top.
+//
+// Each tick (default 1 ms): harvest energy into the buffer, step the device
+// (which draws its load), then advance the buffer's internal processes
+// (diode relaxation, leakage, clipping, controller polling). After the
+// trace ends the run continues until the device is off and cannot re-enable
+// — the paper's "once the trace is complete, we let the system run until it
+// drains the buffer capacitor".
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"react/internal/buffer"
+	"react/internal/harvest"
+	"react/internal/mcu"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// DT is the integration timestep in seconds (default 1 ms).
+	DT float64
+	// Frontend supplies power (trace × converter).
+	Frontend *harvest.Frontend
+	// Buffer is the energy buffer under test.
+	Buffer buffer.Buffer
+	// Device is the computational backend with its workload attached.
+	Device *mcu.Device
+	// TailCap bounds the post-trace drain phase (default 600 s).
+	TailCap float64
+	// RecordDT, when positive, records the rail voltage, device state and
+	// equivalent capacitance every RecordDT seconds (for the figures).
+	RecordDT float64
+}
+
+// Sample is one recorded point of a run.
+type Sample struct {
+	T  float64 // seconds
+	V  float64 // rail voltage
+	On bool    // device powered
+	C  float64 // equivalent buffer capacitance, farads
+	P  float64 // harvested power being delivered, watts
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Buffer   string
+	Workload string
+	// Latency is the time to first enable (Table 4); −1 if the system
+	// never starts.
+	Latency float64
+	// OnTime is the total powered time; Duration the full simulated time.
+	OnTime, Duration float64
+	// Cycles and MeanCycle summarize uninterrupted power cycles.
+	Cycles    int
+	MeanCycle float64
+	// Metrics are the workload counters (blocks, samples, tx, rx, ...).
+	Metrics map[string]float64
+	// Ledger is the buffer's final energy accounting; Stored the residual.
+	Ledger buffer.Ledger
+	Stored float64
+	// Samples is the recording, when enabled.
+	Samples []Sample
+}
+
+// OnFraction returns the duty cycle over the trace duration.
+func (r Result) OnFraction() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return r.OnTime / r.Duration
+}
+
+// EnergyBalanceError returns the relative conservation error of the run —
+// nonzero means the simulation created or destroyed energy.
+func (r Result) EnergyBalanceError() float64 {
+	l := r.Ledger
+	in := l.Harvested
+	out := l.Consumed + l.Clipped + l.Leaked + l.SwitchLoss + l.Overhead + r.Stored
+	if in == 0 {
+		return math.Abs(out)
+	}
+	return math.Abs(in-out) / in
+}
+
+// Run executes the simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if cfg.Frontend == nil || cfg.Buffer == nil || cfg.Device == nil {
+		return Result{}, fmt.Errorf("sim: frontend, buffer and device are all required")
+	}
+	dt := cfg.DT
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	tailCap := cfg.TailCap
+	if tailCap <= 0 {
+		tailCap = 600
+	}
+
+	buf, dev, fe := cfg.Buffer, cfg.Device, cfg.Frontend
+	traceDur := fe.Trace.Duration()
+	var samples []Sample
+	nextRecord := 0.0
+
+	t := 0.0
+	for {
+		v := buf.OutputVoltage()
+		p := fe.Power(t, v)
+		buf.Harvest(p * dt)
+		dev.Step(t, dt, buf)
+		buf.Tick(t, dt, dev.Powered())
+
+		if cfg.RecordDT > 0 && t >= nextRecord {
+			samples = append(samples, Sample{
+				T: t, V: buf.OutputVoltage(), On: dev.Powered(),
+				C: buf.Capacitance(), P: p,
+			})
+			nextRecord += cfg.RecordDT
+		}
+
+		t += dt
+		if t >= traceDur {
+			// Drain phase: stop once the device is off and the rail can
+			// no longer reach the enable voltage (no input remains).
+			if !dev.Powered() && buf.OutputVoltage() < dev.Prof.VEnable {
+				break
+			}
+			if t >= traceDur+tailCap {
+				break
+			}
+		}
+	}
+
+	return Result{
+		Buffer:    buf.Name(),
+		Workload:  dev.WL.Name(),
+		Latency:   dev.FirstOn,
+		OnTime:    dev.OnTime,
+		Duration:  t,
+		Cycles:    dev.Cycles,
+		MeanCycle: dev.MeanCycle(),
+		Metrics:   dev.WL.Metrics(),
+		Ledger:    *buf.Ledger(),
+		Stored:    buf.Stored(),
+		Samples:   samples,
+	}, nil
+}

@@ -1,0 +1,88 @@
+// Package timekeeper models remanence-based timekeeping for intermittent
+// systems (de Winkel et al., ASPLOS'20 — the paper's citation [8] for how
+// the Sense-and-Compute benchmark tracks deadlines across power failures).
+//
+// A batteryless device that loses power also loses its clock. A remanence
+// timekeeper exploits the predictable decay of charge on a dedicated RC
+// pair (or of SRAM cell contents): software writes a known value before
+// dying; on reboot, the surviving analog level reveals roughly how long
+// the outage lasted. The estimate is good within a bounded range and
+// saturates beyond it — after that the system only knows "longer than the
+// range".
+package timekeeper
+
+import "math"
+
+// Clock is a remanence timekeeper: an RC decay cell sampled by an ADC.
+type Clock struct {
+	// Tau is the RC decay constant, seconds. The usable range is roughly
+	// [Tau/50, 3·Tau] — below it the ADC cannot resolve the decay, above
+	// it the cell has flattened into the noise floor.
+	Tau float64
+	// ADCBits is the sampling resolution (quantization error source).
+	ADCBits int
+	// NoiseFrac models component variation as a relative error on the
+	// decayed voltage (temperature, leakage spread).
+	NoiseFrac float64
+
+	armed bool
+	v0    float64 // voltage written at power-down
+	v     float64 // present cell voltage
+}
+
+// DefaultClock returns a timekeeper covering multi-minute outages, the
+// range the evaluation traces need.
+func DefaultClock() *Clock {
+	return &Clock{Tau: 100, ADCBits: 12, NoiseFrac: 0.01}
+}
+
+// MaxRange returns the longest outage the clock can still resolve.
+func (c *Clock) MaxRange() float64 { return 3 * c.Tau }
+
+// Arm charges the decay cell; call at power-down (or continuously while
+// powered, as real systems do).
+func (c *Clock) Arm() {
+	c.armed = true
+	c.v0 = 1
+	c.v = 1
+}
+
+// Decay advances the cell by dt seconds of unpowered time.
+func (c *Clock) Decay(dt float64) {
+	if !c.armed {
+		return
+	}
+	c.v *= math.Exp(-dt / c.Tau)
+}
+
+// Elapsed estimates the outage duration from the decayed, quantized cell
+// voltage. ok is false when the cell has decayed beyond the resolvable
+// range (the estimate then is the range floor — "at least this long").
+func (c *Clock) Elapsed() (estimate float64, ok bool) {
+	if !c.armed {
+		return 0, false
+	}
+	v := c.v * (1 + c.NoiseFrac*noiseFor(c.v))
+	// Quantize to the ADC grid.
+	steps := math.Exp2(float64(c.ADCBits))
+	v = math.Round(v*steps) / steps
+	floor := c.v0 * math.Exp(-c.MaxRange()/c.Tau)
+	if v <= floor {
+		return c.MaxRange(), false
+	}
+	if v >= c.v0 {
+		return 0, true
+	}
+	return -c.Tau * math.Log(v/c.v0), true
+}
+
+// noiseFor derives a deterministic pseudo-noise value in [−1, 1) from the
+// cell voltage, so tests are reproducible while the error model still
+// varies across readings.
+func noiseFor(v float64) float64 {
+	bits := math.Float64bits(v)
+	bits ^= bits >> 33
+	bits *= 0xff51afd7ed558ccd
+	bits ^= bits >> 33
+	return float64(bits%1000)/500 - 1
+}

@@ -1,0 +1,113 @@
+package timekeeper
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnarmedClockReportsNothing(t *testing.T) {
+	c := DefaultClock()
+	if _, ok := c.Elapsed(); ok {
+		t.Error("unarmed clock must not report an estimate")
+	}
+	c.Decay(10) // harmless before arming
+	if _, ok := c.Elapsed(); ok {
+		t.Error("still unarmed")
+	}
+}
+
+func TestEstimateAccuracyInRange(t *testing.T) {
+	for _, outage := range []float64{5, 20, 60, 150, 250} {
+		c := DefaultClock()
+		c.Arm()
+		c.Decay(outage)
+		got, ok := c.Elapsed()
+		if !ok {
+			t.Fatalf("outage %g s within range reported not-ok", outage)
+		}
+		// Remanence error is absolute (≈τ·noise), so allow a couple of
+		// seconds on top of the 10 %% relative band.
+		if err := math.Abs(got - outage); err > 0.10*outage+2.5 {
+			t.Errorf("outage %g s estimated as %g s (%.2f s error)", outage, got, err)
+		}
+	}
+}
+
+func TestSaturationBeyondRange(t *testing.T) {
+	c := DefaultClock()
+	c.Arm()
+	c.Decay(10 * c.Tau) // way past the resolvable range
+	got, ok := c.Elapsed()
+	if ok {
+		t.Error("saturated clock must report not-ok")
+	}
+	if got != c.MaxRange() {
+		t.Errorf("saturated estimate %g, want the range floor %g", got, c.MaxRange())
+	}
+}
+
+func TestZeroOutage(t *testing.T) {
+	c := DefaultClock()
+	c.Arm()
+	got, ok := c.Elapsed()
+	if !ok || got > 2.5 {
+		t.Errorf("no decay should read ≈0, got %g (%v)", got, ok)
+	}
+}
+
+func TestRearmResets(t *testing.T) {
+	c := DefaultClock()
+	c.Arm()
+	c.Decay(100)
+	c.Arm() // reboot, write a fresh value
+	got, ok := c.Elapsed()
+	if !ok || got > 2.5 {
+		t.Errorf("re-armed clock should read ≈0, got %g", got)
+	}
+}
+
+// Property: estimates are monotone in the true outage (a longer outage
+// never reads shorter), within the resolvable range.
+func TestMonotonicity(t *testing.T) {
+	f := func(a, b uint8) bool {
+		t1 := 1 + float64(a) // 1..256 s
+		t2 := 1 + float64(b)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t2 >= 280 { // stay inside the range
+			return true
+		}
+		c1 := DefaultClock()
+		c1.Arm()
+		c1.Decay(t1)
+		e1, _ := c1.Elapsed()
+		c2 := DefaultClock()
+		c2.Arm()
+		c2.Decay(t2)
+		e2, _ := c2.Elapsed()
+		// Allow the quantization/noise floor as slack.
+		return e2 >= e1-1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecayComposes(t *testing.T) {
+	a := DefaultClock()
+	a.Arm()
+	a.Decay(30)
+	a.Decay(30)
+	b := DefaultClock()
+	b.Arm()
+	b.Decay(60)
+	ea, _ := a.Elapsed()
+	eb, _ := b.Elapsed()
+	// The two cells land on almost (not bit-) identical voltages, so their
+	// deterministic noise draws differ; allow the noise band.
+	if math.Abs(ea-eb) > 3 {
+		t.Errorf("split decay %g vs single decay %g", ea, eb)
+	}
+}

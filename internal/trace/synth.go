@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"math"
+
+	"react/internal/rng"
+)
+
+// Synthetic evaluation traces. Each generator is deterministic for a given
+// seed and is matched to the corresponding row of the paper's Table 3:
+//
+//	Trace           Time (s)  Avg Pow (mW)  Power CV
+//	RF Cart         313       2.12          103 %
+//	RF Obstruction  313       0.227         61 %
+//	RF Mobile       318       0.5           166 %
+//	Solar Campus    3609      5.18          207 %
+//	Solar Commute   6030      0.148         333 %
+//
+// The RF traces are modelled as temporally correlated log-normal processes
+// (office multipath fading plus motion), the solar traces as two-state
+// shade/sun Markov processes with in-state fading — the structure §2
+// describes, where most energy arrives in short high-power bursts.
+
+// arLogNormal fills a trace with exp of an AR(1) process whose stationary
+// log-std is sigma and whose per-step correlation is rho, then scales it to
+// the requested mean. trend is a multiplicative factor applied linearly in
+// log space from start (trend) to end (1/trend), used to front- or back-load
+// energy.
+func arLogNormal(name string, seed uint64, n int, mean, sigma, rho, trend float64) *Trace {
+	r := rng.New(seed)
+	t := &Trace{Name: name, DT: 1, Power: make([]float64, n)}
+	x := r.Norm() // start in the stationary distribution
+	innov := math.Sqrt(1 - rho*rho)
+	for i := 0; i < n; i++ {
+		x = rho*x + innov*r.Norm()
+		logTrend := 0.0
+		if trend != 0 && trend != 1 {
+			frac := float64(i) / float64(n-1)
+			logTrend = math.Log(trend) * (1 - 2*frac)
+		}
+		t.Power[i] = math.Exp(sigma*x + logTrend)
+	}
+	t.Scale(mean)
+	return t
+}
+
+// markovBurst fills a trace with a two-state process: a low state with mean
+// lowMean and a high (burst) state with mean highMean; mean dwell times are
+// lowDwell and highDwell seconds. Both states carry log-normal fading with
+// log-std sigma. The result is scaled to the requested mean.
+func markovBurst(name string, seed uint64, n int, mean, lowMean, highMean, lowDwell, highDwell, sigma float64) *Trace {
+	r := rng.New(seed)
+	t := &Trace{Name: name, DT: 1, Power: make([]float64, n)}
+	high := false
+	remaining := r.Exp(lowDwell)
+	for i := 0; i < n; i++ {
+		if remaining <= 0 {
+			high = !high
+			if high {
+				remaining = r.Exp(highDwell)
+			} else {
+				remaining = r.Exp(lowDwell)
+			}
+		}
+		base := lowMean
+		if high {
+			base = highMean
+		}
+		// Log-normal fading normalized to unit mean so `base` is the state mean.
+		fade := math.Exp(sigma*r.Norm() - sigma*sigma/2)
+		t.Power[i] = base * fade
+		remaining--
+	}
+	t.Scale(mean)
+	return t
+}
+
+// RFCart reproduces the "RF Cart" trace: a harvester on a moving cart near a
+// 915 MHz transmitter. High average power, moderate volatility (CV ≈ 103 %),
+// structured as near/far passes — while the cart is near, delivered power
+// well exceeds a typical device's active draw, which is what makes small
+// static buffers clip (§2.1.2).
+func RFCart(seed uint64) *Trace {
+	return markovBurst("RF Cart", seed^0xca7, 313, 2.12e-3,
+		0.8e-3, 8e-3, 38, 13, 0.25)
+}
+
+// RFObstructed reproduces the "RF Obstruction" trace: a harvester behind
+// office obstructions. Low power, low volatility (CV ≈ 61 %), slightly
+// front-loaded so small buffers start quickly while the 17 mF buffer never
+// accumulates its enable energy — the behaviour Table 4 reports.
+func RFObstructed(seed uint64) *Trace {
+	return arLogNormal("RF Obstructed", seed^0x0b5, 313, 0.227e-3, 0.565, 0.96, 1.35)
+}
+
+// RFMobile reproduces the "RF Mobile" trace: a harvester carried through an
+// office. Mid power, high volatility (CV ≈ 166 %): long weak stretches with
+// strong bursts when the carrier passes near the transmitter.
+func RFMobile(seed uint64) *Trace {
+	return markovBurst("RF Mobile", seed^0x30b, 318, 0.5e-3,
+		0.09e-3, 2.8e-3, 26, 7, 0.5)
+}
+
+// SolarCampus reproduces the EnHANTs campus-walk irradiance trace: long
+// deeply shaded stretches (well below a typical device's active draw)
+// punctuated by strong outdoor bursts carrying most of the energy
+// (CV ≈ 207 %).
+func SolarCampus(seed uint64) *Trace {
+	return markovBurst("Solar Campus", seed^0x5ca, 3609, 5.18e-3,
+		0.25e-3, 21e-3, 300, 92, 0.35)
+}
+
+// SolarCommute reproduces the EnHANTs commute irradiance trace: nearly dark
+// indoor/transit conditions with rare bright moments (CV ≈ 333 %).
+func SolarCommute(seed uint64) *Trace {
+	return markovBurst("Solar Commute", seed^0x5c0, 6030, 0.148e-3,
+		0.02e-3, 2e-3, 300, 21, 0.3)
+}
+
+// Fig1Pedestrian generates the pedestrian solar-harvester trace used for
+// Figure 1 and the §2.1 background analysis: a 22 %-efficient 5 cm² panel on
+// a pedestrian (EnHANTs). Tuned so that most time is spent below 3 mW while
+// most energy arrives in spikes above 10 mW.
+func Fig1Pedestrian(seed uint64) *Trace {
+	return markovBurst("Pedestrian Solar", seed^0xf16, 3500, 2.45e-3,
+		0.45e-3, 17e-3, 260, 36, 0.4)
+}
+
+// Night generates the §2.1.2 night-time trace: a solar panel under faint
+// artificial light, steady and very weak.
+func Night(seed uint64) *Trace {
+	return arLogNormal("Solar Night", seed^0x417, 1800, 0.30e-3, 0.2, 0.98, 1)
+}
+
+// Evaluation bundles the five Table 3 traces in presentation order.
+func Evaluation(seed uint64) []*Trace {
+	return []*Trace{
+		RFCart(seed),
+		RFObstructed(seed),
+		RFMobile(seed),
+		SolarCampus(seed),
+		SolarCommute(seed),
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace provides harvested-power traces: the time series of power a
+// harvester delivers to the energy buffer.
+//
+// The paper evaluates on three RF traces recorded in an office environment
+// and two solar irradiance traces from the EnHANTs dataset, replayed through
+// an Ekho-style programmable power frontend. Those recordings are not
+// available, so this package synthesizes traces matched to the statistics
+// the paper reports in Table 3 (duration, mean power, coefficient of
+// variation) and to the qualitative structure described in §2 (short
+// high-power spikes carrying most of the energy). Real recordings can be
+// used instead via ReadCSV.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Trace is a uniformly sampled harvested-power time series.
+type Trace struct {
+	Name  string
+	DT    float64   // sample spacing, seconds
+	Power []float64 // harvested power at each sample, watts
+}
+
+// Duration returns the total trace length in seconds.
+func (t *Trace) Duration() float64 {
+	return float64(len(t.Power)) * t.DT
+}
+
+// At returns the harvested power at time ts (seconds), linearly
+// interpolating between samples. Times outside the trace return 0 — after
+// the recording ends the harvester delivers nothing, which is how the
+// paper's "run until the buffer drains" tail behaves.
+func (t *Trace) At(ts float64) float64 {
+	if ts < 0 || len(t.Power) == 0 {
+		return 0
+	}
+	pos := ts / t.DT
+	i := int(pos)
+	if i >= len(t.Power)-1 {
+		if i >= len(t.Power) {
+			return 0
+		}
+		return t.Power[i]
+	}
+	frac := pos - float64(i)
+	return t.Power[i]*(1-frac) + t.Power[i+1]*frac
+}
+
+// Stats summarizes a trace the way Table 3 does, plus the spike-energy
+// measures used in §2.1.2.
+type Stats struct {
+	Duration float64 // seconds
+	Mean     float64 // watts
+	StdDev   float64 // watts
+	CV       float64 // coefficient of variation, StdDev/Mean
+	Peak     float64 // watts
+	Energy   float64 // joules over the whole trace
+}
+
+// Stats computes summary statistics over the trace.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	s.Duration = t.Duration()
+	n := float64(len(t.Power))
+	if n == 0 {
+		return s
+	}
+	var sum, sumSq float64
+	for _, p := range t.Power {
+		sum += p
+		sumSq += p * p
+		if p > s.Peak {
+			s.Peak = p
+		}
+	}
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	if s.Mean > 0 {
+		s.CV = s.StdDev / s.Mean
+	}
+	s.Energy = sum * t.DT
+	return s
+}
+
+// EnergyFractionAbove returns the fraction of total trace energy delivered
+// while instantaneous power exceeds threshold watts. The paper's motivating
+// observation (§2.1.2) is that 82 % of the pedestrian-solar trace's energy
+// arrives above 10 mW.
+func (t *Trace) EnergyFractionAbove(threshold float64) float64 {
+	var above, total float64
+	for _, p := range t.Power {
+		total += p
+		if p > threshold {
+			above += p
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return above / total
+}
+
+// TimeFractionBelow returns the fraction of trace time spent with
+// instantaneous power below threshold watts.
+func (t *Trace) TimeFractionBelow(threshold float64) float64 {
+	if len(t.Power) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range t.Power {
+		if p < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Power))
+}
+
+// Scale multiplies every sample so the trace mean becomes mean watts.
+func (t *Trace) Scale(mean float64) {
+	s := t.Stats()
+	if s.Mean == 0 {
+		return
+	}
+	k := mean / s.Mean
+	for i := range t.Power {
+		t.Power[i] *= k
+	}
+}
+
+// WriteCSV writes the trace as "time_s,power_w" rows with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "power_w"}); err != nil {
+		return err
+	}
+	for i, p := range t.Power {
+		row := []string{
+			strconv.FormatFloat(float64(i)*t.DT, 'g', -1, 64),
+			strconv.FormatFloat(p, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any two-column
+// time/power CSV with a header row and uniform spacing).
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(rows) < 3 {
+		return nil, errors.New("trace: need a header and at least two samples")
+	}
+	tr := &Trace{Name: name}
+	var t0, t1 float64
+	for i, row := range rows[1:] {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want 2", i+1, len(row))
+		}
+		ts, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+1, err)
+		}
+		p, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d power: %w", i+1, err)
+		}
+		switch i {
+		case 0:
+			t0 = ts
+		case 1:
+			t1 = ts
+		}
+		tr.Power = append(tr.Power, p)
+	}
+	tr.DT = t1 - t0
+	if tr.DT <= 0 {
+		return nil, errors.New("trace: non-increasing timestamps")
+	}
+	return tr, nil
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAtInterpolates(t *testing.T) {
+	tr := &Trace{DT: 1, Power: []float64{0, 2, 4}}
+	cases := []struct{ ts, want float64 }{
+		{0, 0}, {0.5, 1}, {1, 2}, {1.5, 3}, {2, 4}, {2.5, 4}, {5, 0}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.ts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.ts, got, c.want)
+		}
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	tr := &Trace{DT: 2, Power: []float64{1, 3}}
+	s := tr.Stats()
+	if s.Duration != 4 {
+		t.Errorf("duration %g, want 4", s.Duration)
+	}
+	if s.Mean != 2 {
+		t.Errorf("mean %g, want 2", s.Mean)
+	}
+	if math.Abs(s.StdDev-1) > 1e-12 {
+		t.Errorf("stddev %g, want 1", s.StdDev)
+	}
+	if math.Abs(s.CV-0.5) > 1e-12 {
+		t.Errorf("cv %g, want 0.5", s.CV)
+	}
+	if s.Peak != 3 {
+		t.Errorf("peak %g, want 3", s.Peak)
+	}
+	if math.Abs(s.Energy-8) > 1e-12 {
+		t.Errorf("energy %g, want 8", s.Energy)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	tr := &Trace{DT: 1}
+	if s := tr.Stats(); s.Mean != 0 || s.CV != 0 {
+		t.Error("empty trace stats should be zero")
+	}
+}
+
+func TestScaleHitsExactMean(t *testing.T) {
+	tr := &Trace{DT: 1, Power: []float64{1, 2, 3, 4}}
+	tr.Scale(10)
+	if s := tr.Stats(); math.Abs(s.Mean-10) > 1e-12 {
+		t.Errorf("scaled mean %g, want 10", s.Mean)
+	}
+}
+
+func TestEnergyAndTimeFractions(t *testing.T) {
+	tr := &Trace{DT: 1, Power: []float64{1, 1, 1, 7}}
+	if got := tr.EnergyFractionAbove(2); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("energy fraction above = %g, want 0.7", got)
+	}
+	if got := tr.TimeFractionBelow(2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("time fraction below = %g, want 0.75", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "x", DT: 0.5, Power: []float64{0.001, 0.002, 0.0035}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("x", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DT != tr.DT {
+		t.Errorf("dt %g, want %g", got.DT, tr.DT)
+	}
+	if len(got.Power) != len(tr.Power) {
+		t.Fatalf("len %d, want %d", len(got.Power), len(tr.Power))
+	}
+	for i := range got.Power {
+		if math.Abs(got.Power[i]-tr.Power[i]) > 1e-15 {
+			t.Errorf("sample %d = %g, want %g", i, got.Power[i], tr.Power[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"time_s,power_w\n1,2\n",      // too few samples
+		"time_s,power_w\n0,1\n0,2\n", // non-increasing time
+		"time_s,power_w\nx,1\n1,2\n", // bad time
+		"time_s,power_w\n0,y\n1,2\n", // bad power
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+// TestTable3Statistics checks that the synthetic evaluation traces match the
+// paper's Table 3: exact duration and mean power, and coefficient of
+// variation within a tolerance band (the CV of a finite random realization
+// cannot be pinned exactly).
+func TestTable3Statistics(t *testing.T) {
+	want := []struct {
+		name     string
+		duration float64
+		mean     float64 // watts
+		cv       float64
+	}{
+		{"RF Cart", 313, 2.12e-3, 1.03},
+		{"RF Obstructed", 313, 0.227e-3, 0.61},
+		{"RF Mobile", 318, 0.5e-3, 1.66},
+		{"Solar Campus", 3609, 5.18e-3, 2.07},
+		{"Solar Commute", 6030, 0.148e-3, 3.33},
+	}
+	traces := Evaluation(1)
+	for i, w := range want {
+		s := traces[i].Stats()
+		if traces[i].Name != w.name {
+			t.Errorf("trace %d name %q, want %q", i, traces[i].Name, w.name)
+		}
+		if s.Duration != w.duration {
+			t.Errorf("%s duration %g, want %g", w.name, s.Duration, w.duration)
+		}
+		if math.Abs(s.Mean-w.mean) > 1e-9 {
+			t.Errorf("%s mean %g, want %g", w.name, s.Mean, w.mean)
+		}
+		if s.CV < w.cv*0.6 || s.CV > w.cv*1.5 {
+			t.Errorf("%s CV %.2f, want within 40/50%% of %.2f", w.name, s.CV, w.cv)
+		}
+	}
+}
+
+// TestFig1TraceShape checks the §2.1.2 observations on the pedestrian solar
+// trace: the large majority of time is low-power while the large majority of
+// energy arrives in spikes.
+func TestFig1TraceShape(t *testing.T) {
+	tr := Fig1Pedestrian(1)
+	if frac := tr.TimeFractionBelow(3e-3); frac < 0.6 {
+		t.Errorf("time below 3 mW = %.2f, want most of the trace", frac)
+	}
+	if frac := tr.EnergyFractionAbove(10e-3); frac < 0.6 {
+		t.Errorf("energy above 10 mW = %.2f, want most of the energy", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RFCart(42)
+	b := RFCart(42)
+	for i := range a.Power {
+		if a.Power[i] != b.Power[i] {
+			t.Fatalf("same seed produced different traces at sample %d", i)
+		}
+	}
+	c := RFCart(43)
+	same := true
+	for i := range a.Power {
+		if a.Power[i] != c.Power[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestNightTraceIsSteadyAndWeak(t *testing.T) {
+	s := Night(1).Stats()
+	if s.Mean > 1e-3 {
+		t.Errorf("night trace mean %g W, want well under 1 mW", s.Mean)
+	}
+	if s.CV > 0.5 {
+		t.Errorf("night trace CV %.2f, want steady (< 0.5)", s.CV)
+	}
+}

@@ -1,0 +1,223 @@
+// Package react is a simulation library for energy-adaptive buffering in
+// batteryless, energy-harvesting systems. It reproduces REACT (Williams &
+// Hicks, ASPLOS 2024): a buffer built from a small last-level capacitor
+// plus isolated, reconfigurable capacitor banks that expand to capture
+// surplus power and reconfigure into series to reclaim charge under
+// deficit — combining the reactivity of small static buffers with the
+// capacity of large ones.
+//
+// The library bundles everything needed to study such systems end to end:
+//
+//   - circuit-level capacitor physics with exact charge-sharing losses
+//   - the REACT buffer and controller, static baselines, and the Morphy
+//     unified switched-capacitor baseline
+//   - synthetic RF/solar harvesting traces matched to the paper's Table 3,
+//     plus CSV import for real recordings
+//   - an MSP430-class device model with the paper's four benchmarks (data
+//     encryption, sense-and-compute, radio transmit, packet forwarding)
+//   - a discrete-time simulation engine with full energy-conservation
+//     accounting
+//
+// # Quick start
+//
+//	buf := react.NewREACT(react.DefaultConfig())
+//	dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
+//	res, err := react.Run(react.SimConfig{
+//		Frontend: react.NewFrontend(react.RFCart(1), nil),
+//		Buffer:   buf,
+//		Device:   dev,
+//	})
+//
+// See the examples directory for complete programs and EXPERIMENTS.md for
+// the paper-reproduction harness.
+package react
+
+import (
+	"io"
+
+	"react/internal/buffer"
+	"react/internal/capybara"
+	"react/internal/core"
+	"react/internal/harvest"
+	"react/internal/mcu"
+	"react/internal/morphy"
+	"react/internal/radio"
+	"react/internal/sim"
+	"react/internal/timekeeper"
+	"react/internal/trace"
+	"react/internal/workload"
+)
+
+// Core buffer types.
+type (
+	// Buffer is the common interface over every energy-buffer design.
+	Buffer = buffer.Buffer
+	// Leveler is the capacitance-level interface adaptive buffers expose
+	// for software-directed longevity guarantees.
+	Leveler = buffer.Leveler
+	// Ledger is the energy accounting every buffer maintains.
+	Ledger = buffer.Ledger
+	// StaticConfig describes a fixed-size buffer capacitor.
+	StaticConfig = buffer.StaticConfig
+	// DewdropConfig describes an adaptive-enable-voltage buffer (§2.4).
+	DewdropConfig = buffer.DewdropConfig
+	// DewdropBuffer is the Dewdrop baseline implementation.
+	DewdropBuffer = buffer.Dewdrop
+	// Config describes a REACT buffer (last-level buffer, banks,
+	// thresholds, overheads).
+	Config = core.Config
+	// BankSpec describes one reconfigurable REACT bank.
+	BankSpec = core.BankSpec
+	// BankState is a bank's switch state (disconnected/series/parallel).
+	BankState = core.BankState
+	// REACTBuffer is the adaptive buffer implementation.
+	REACTBuffer = core.Buffer
+	// MorphyConfig describes the Morphy baseline array.
+	MorphyConfig = morphy.Config
+	// MorphyBuffer is the Morphy baseline implementation.
+	MorphyBuffer = morphy.Buffer
+	// CapybaraConfig describes the Capybara-style multiplexed static
+	// array baseline (§2.3 related work).
+	CapybaraConfig = capybara.Config
+	// CapybaraBuffer is the Capybara-style baseline implementation.
+	CapybaraBuffer = capybara.Buffer
+	// Timekeeper is a remanence-based outage clock (citation [8]).
+	Timekeeper = timekeeper.Clock
+)
+
+// Bank switch states.
+const (
+	Disconnected = core.Disconnected
+	Series       = core.Series
+	Parallel     = core.Parallel
+)
+
+// Trace and frontend types.
+type (
+	// Trace is a harvested-power time series.
+	Trace = trace.Trace
+	// TraceStats summarizes a trace (Table 3 columns).
+	TraceStats = trace.Stats
+	// Converter models a harvester power-conversion stage.
+	Converter = harvest.Converter
+	// Frontend replays a trace through a converter into a buffer.
+	Frontend = harvest.Frontend
+)
+
+// Device and simulation types.
+type (
+	// Profile is the device's electrical envelope.
+	Profile = mcu.Profile
+	// Device is the computational backend.
+	Device = mcu.Device
+	// Workload is a benchmark program running on the device.
+	Workload = mcu.Workload
+	// Env is the execution environment a workload sees each step.
+	Env = mcu.Env
+	// SimConfig configures one simulation run.
+	SimConfig = sim.Config
+	// Result is a completed run's outcome.
+	Result = sim.Result
+	// Sample is one recorded voltage/state point.
+	Sample = sim.Sample
+)
+
+// NewREACT builds a REACT buffer from cfg.
+func NewREACT(cfg Config) *REACTBuffer { return core.New(cfg) }
+
+// DefaultConfig returns the paper's Table 1 REACT implementation
+// (770 µF last-level buffer, five banks, 770 µF–18.03 mF).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewStatic builds a fixed-size buffer.
+func NewStatic(cfg StaticConfig) Buffer { return buffer.NewStatic(cfg) }
+
+// NewDewdrop builds a Dewdrop-style buffer (§2.4 related work): a static
+// capacitor whose enable voltage adapts to the pending task's energy.
+func NewDewdrop(cfg DewdropConfig) *DewdropBuffer { return buffer.NewDewdrop(cfg) }
+
+// NewMorphy builds a Morphy unified switched-capacitor buffer.
+func NewMorphy(cfg MorphyConfig) *MorphyBuffer { return morphy.New(cfg) }
+
+// DefaultMorphyConfig returns the paper's Morphy baseline (8×2 mF, eleven
+// configurations spanning 0.25–16 mF).
+func DefaultMorphyConfig() MorphyConfig { return morphy.DefaultConfig() }
+
+// NewCapybara builds a Capybara-style multiplexed static array.
+func NewCapybara(cfg CapybaraConfig) *CapybaraBuffer { return capybara.New(cfg) }
+
+// DefaultCapybaraConfig returns a four-bank array matching REACT's total
+// capacitance.
+func DefaultCapybaraConfig() CapybaraConfig { return capybara.DefaultConfig() }
+
+// NewTimekeeper returns a remanence outage clock with a multi-minute range.
+func NewTimekeeper() *Timekeeper { return timekeeper.DefaultClock() }
+
+// LevelFor returns the smallest capacitance level whose guarantee covers
+// the requested energy.
+func LevelFor(l Leveler, energy float64) (int, bool) { return buffer.LevelFor(l, energy) }
+
+// VoltageAfterReclaim computes the paper's Equation 1: the rail voltage
+// after a parallel→series charge reclamation.
+func VoltageAfterReclaim(n int, cUnit, cLast, vLow float64) float64 {
+	return core.VoltageAfterReclaim(n, cUnit, cLast, vLow)
+}
+
+// MaxUnitCapacitance computes the paper's Equation 2: the largest bank
+// capacitor for which reclamation spikes stay below vHigh.
+func MaxUnitCapacitance(n int, cLast, vLow, vHigh float64) float64 {
+	return core.MaxUnitCapacitance(n, cLast, vLow, vHigh)
+}
+
+// Synthetic evaluation traces (deterministic per seed; see Table 3).
+func RFCart(seed uint64) *Trace          { return trace.RFCart(seed) }
+func RFObstructed(seed uint64) *Trace    { return trace.RFObstructed(seed) }
+func RFMobile(seed uint64) *Trace        { return trace.RFMobile(seed) }
+func SolarCampus(seed uint64) *Trace     { return trace.SolarCampus(seed) }
+func SolarCommute(seed uint64) *Trace    { return trace.SolarCommute(seed) }
+func PedestrianSolar(seed uint64) *Trace { return trace.Fig1Pedestrian(seed) }
+func NightTrace(seed uint64) *Trace      { return trace.Night(seed) }
+
+// EvaluationTraces returns the five Table 3 traces in order.
+func EvaluationTraces(seed uint64) []*Trace { return trace.Evaluation(seed) }
+
+// ReadTraceCSV parses a "time_s,power_w" trace recording.
+func ReadTraceCSV(name string, r io.Reader) (*Trace, error) { return trace.ReadCSV(name, r) }
+
+// NewFrontend pairs a trace with a converter (nil means the trace records
+// delivered power directly, as the paper's replay frontend does).
+func NewFrontend(tr *Trace, conv Converter) *Frontend { return harvest.NewFrontend(tr, conv) }
+
+// Converter models.
+func IdentityConverter() Converter    { return harvest.Identity{} }
+func RFRectifierConverter() Converter { return harvest.DefaultRF() }
+func SolarBoostConverter() Converter  { return harvest.DefaultSolar() }
+
+// NewDevice couples a device profile with a workload.
+func NewDevice(prof Profile, wl Workload) *Device { return mcu.NewDevice(prof, wl) }
+
+// DefaultProfile returns the paper's testbed envelope (3.3 V enable, 1.8 V
+// brownout, 1.5 mA active, 4 µA sleep).
+func DefaultProfile() Profile { return mcu.DefaultProfile() }
+
+// Benchmark workloads (§4.2).
+func NewDataEncryption(activeI float64) Workload { return workload.NewDataEncryption(activeI) }
+func NewSenseCompute(sleepI float64) Workload    { return workload.NewSenseCompute(sleepI) }
+func NewRadioTransmit(sleepI float64) Workload   { return workload.NewRadioTransmit(sleepI) }
+
+// NewSenseComputeWithTimekeeper builds the SC workload tracking its
+// deadlines with a remanence timekeeper instead of a perfect clock; the
+// workload reports the resulting scheduling error as "timing_err_mean".
+func NewSenseComputeWithTimekeeper(sleepI float64, clock *Timekeeper) Workload {
+	w := workload.NewSenseCompute(sleepI)
+	w.Clock = clock
+	return w
+}
+
+// NewPacketForward builds the PF workload over a Poisson arrival schedule.
+func NewPacketForward(sleepI float64, seed uint64, duration, meanInterarrival float64) Workload {
+	return workload.NewPacketForward(sleepI, radio.Arrivals(seed, duration, meanInterarrival))
+}
+
+// Run executes a simulation to completion.
+func Run(cfg SimConfig) (Result, error) { return sim.Run(cfg) }

@@ -1,0 +1,138 @@
+package react_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"react"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start path.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	buf := react.NewREACT(react.DefaultConfig())
+	dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
+	res, err := react.Run(react.SimConfig{
+		Frontend: react.NewFrontend(react.RFCart(1), nil),
+		Buffer:   buf,
+		Device:   dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffer != "REACT" || res.Workload != "DE" {
+		t.Errorf("labels %q/%q", res.Buffer, res.Workload)
+	}
+	if res.Metrics["blocks"] <= 0 {
+		t.Error("no work done")
+	}
+	if e := res.EnergyBalanceError(); e > 1e-9 {
+		t.Errorf("energy balance error %g", e)
+	}
+}
+
+func TestAllBuffersThroughFacade(t *testing.T) {
+	buffers := []react.Buffer{
+		react.NewStatic(react.StaticConfig{C: 770e-6, VMax: 3.6}),
+		react.NewMorphy(react.DefaultMorphyConfig()),
+		react.NewREACT(react.DefaultConfig()),
+	}
+	for _, buf := range buffers {
+		prof := react.DefaultProfile()
+		res, err := react.Run(react.SimConfig{
+			Frontend: react.NewFrontend(react.RFObstructed(1), nil),
+			Buffer:   buf,
+			Device:   react.NewDevice(prof, react.NewSenseCompute(prof.SleepI)),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", buf.Name(), err)
+		}
+		if res.Duration <= 0 {
+			t.Errorf("%s: no simulated time", buf.Name())
+		}
+	}
+}
+
+func TestEquationHelpers(t *testing.T) {
+	// Equation 1 at N=2, C_unit=5 mF, C_last=770 µF, V_low=1.9 V.
+	v := react.VoltageAfterReclaim(2, 5e-3, 770e-6, 1.9)
+	want := (2*1.9*2.5e-3 + 1.9*770e-6) / (770e-6 + 2.5e-3)
+	if math.Abs(v-want) > 1e-12 {
+		t.Errorf("Equation 1 = %g, want %g", v, want)
+	}
+	limit := react.MaxUnitCapacitance(2, 770e-6, 1.9, 3.5)
+	if limit <= 5e-3 {
+		t.Errorf("Table 1 bank 5 must satisfy Equation 2, limit %g", limit)
+	}
+}
+
+func TestLevelForThroughFacade(t *testing.T) {
+	buf := react.NewREACT(react.DefaultConfig())
+	lvl, ok := react.LevelFor(buf, 5e-3)
+	if !ok || lvl == 0 {
+		t.Errorf("LevelFor(5 mJ) = %d,%v", lvl, ok)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	traces := react.EvaluationTraces(1)
+	if len(traces) != 5 {
+		t.Fatalf("want 5 evaluation traces, got %d", len(traces))
+	}
+	if react.PedestrianSolar(1).Duration() != 3500 {
+		t.Error("pedestrian trace duration")
+	}
+	if react.NightTrace(1).Stats().Mean > 1e-3 {
+		t.Error("night trace too strong")
+	}
+	var b strings.Builder
+	if err := traces[0].WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := react.ReadTraceCSV("rt", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Power) != len(traces[0].Power) {
+		t.Error("CSV round trip lost samples")
+	}
+}
+
+func TestConverterConstructors(t *testing.T) {
+	for _, c := range []react.Converter{
+		react.IdentityConverter(), react.RFRectifierConverter(), react.SolarBoostConverter(),
+	} {
+		if c.Name() == "" {
+			t.Error("converter must be named")
+		}
+		if out := c.Deliver(10e-3, 2.5); out < 0 || out > 10e-3 {
+			t.Errorf("%s: Deliver out of range: %g", c.Name(), out)
+		}
+	}
+}
+
+func TestBankStateConstants(t *testing.T) {
+	if react.Disconnected.String() != "disconnected" ||
+		react.Series.String() != "series" ||
+		react.Parallel.String() != "parallel" {
+		t.Error("bank state names")
+	}
+}
+
+// TestREACTBufferIntrospection checks the adaptive buffer's exported
+// inspection surface.
+func TestREACTBufferIntrospection(t *testing.T) {
+	buf := react.NewREACT(react.DefaultConfig())
+	if got := buf.MaxLevel(); got != 10 {
+		t.Errorf("max level %d, want 10 (5 banks × 2 steps)", got)
+	}
+	if len(buf.Banks()) != 5 {
+		t.Errorf("banks %d, want 5", len(buf.Banks()))
+	}
+	if buf.Config().MaxCapacitance() < 18e-3 {
+		t.Error("capacitance range top")
+	}
+	if buf.Level() != 0 {
+		t.Error("fresh buffer starts at level 0")
+	}
+}
