@@ -4,12 +4,18 @@
 // is seconds long and `go test -bench=.` runs them once; the reported
 // custom metrics are the table's headline values.
 //
+// Every multi-run benchmark schedules its simulations through the shared
+// experiment engine (react.RunGrid / react.Sweep over internal/runner)
+// rather than looping ad hoc, so the benchmarks exercise the same
+// orchestration path as the experiments package and the cmd/ tools.
+//
 // Ablation benchmarks (A1–A4 in DESIGN.md) probe the design choices the
 // paper calls out: ideal diodes vs Schottky isolation, controller poll
 // rate, bank granularity, and integration timestep.
 package react_test
 
 import (
+	"context"
 	"testing"
 
 	"react"
@@ -23,31 +29,24 @@ func rfTraces() []*react.Trace {
 	return []*react.Trace{react.RFCart(1), react.RFObstructed(1), react.RFMobile(1)}
 }
 
-// meanPerf runs one benchmark over the RF traces for one buffer and
-// returns the mean figure of merit.
-func meanPerf(b *testing.B, bench, buf string) float64 {
-	b.Helper()
-	var sum float64
-	for _, tr := range rfTraces() {
-		r, err := experiments.RunCell(tr, buf, bench, experiments.Options{})
+// runCell adapts the experiments cell factory to the engine's grid signature.
+func runCell(_ context.Context, bench string, tr *react.Trace, buf string) (react.Result, error) {
+	return experiments.RunCell(tr, buf, bench, experiments.Options{})
+}
+
+// benchTable2 runs one Table 2 benchmark column set over the RF traces and
+// reports the REACT and static means.
+func benchTable2(b *testing.B, bench string) {
+	perf := func(r react.Result) float64 { return experiments.Perf(bench, r) }
+	for i := 0; i < b.N; i++ {
+		g, err := react.RunGrid(context.Background(), nil,
+			[]string{bench}, rfTraces(), []string{"REACT", "770 µF", "17 mF"}, runCell)
 		if err != nil {
 			b.Fatal(err)
 		}
-		sum += experiments.Perf(bench, r)
-	}
-	return sum / 3
-}
-
-// benchTable2 runs one Table 2 benchmark column set and reports the REACT
-// and best-static means.
-func benchTable2(b *testing.B, bench string) {
-	for i := 0; i < b.N; i++ {
-		reactMean := meanPerf(b, bench, "REACT")
-		small := meanPerf(b, bench, "770 µF")
-		large := meanPerf(b, bench, "17 mF")
-		b.ReportMetric(reactMean, "react_"+bench)
-		b.ReportMetric(small, "static770u_"+bench)
-		b.ReportMetric(large, "static17m_"+bench)
+		b.ReportMetric(g.MeanOverTraces(bench, "REACT", perf), "react_"+bench)
+		b.ReportMetric(g.MeanOverTraces(bench, "770 µF", perf), "static770u_"+bench)
+		b.ReportMetric(g.MeanOverTraces(bench, "17 mF", perf), "static17m_"+bench)
 	}
 }
 
@@ -77,17 +76,16 @@ func BenchmarkTable3_Traces(b *testing.B) {
 // and reports the REACT-vs-17 mF speedup (paper: 7.7x over all traces).
 func BenchmarkTable4_Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		g, err := react.RunGrid(context.Background(), nil,
+			[]string{"DE"}, rfTraces(), []string{"REACT", "17 mF"}, runCell)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var reactLat, bigLat float64
 		n := 0
-		for _, tr := range rfTraces() {
-			rr, err := experiments.RunCell(tr, "REACT", "DE", experiments.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			rb, err := experiments.RunCell(tr, "17 mF", "DE", experiments.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
+		for _, tr := range g.Traces {
+			rr := g.At("DE", tr.Name, "REACT")
+			rb := g.At("DE", tr.Name, "17 mF")
 			if rr.Latency >= 0 && rb.Latency >= 0 {
 				reactLat += rr.Latency
 				bigLat += rb.Latency
@@ -103,17 +101,52 @@ func BenchmarkTable4_Latency(b *testing.B) {
 // traces.
 func BenchmarkTable5_PF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		res, err := react.Sweep(context.Background(), nil, rfTraces(),
+			func(_ context.Context, tr *react.Trace) (react.Result, error) {
+				return experiments.RunCell(tr, "REACT", "PF", experiments.Options{})
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var rx, tx float64
-		for _, tr := range rfTraces() {
-			r, err := experiments.RunCell(tr, "REACT", "PF", experiments.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
+		for _, r := range res {
 			rx += r.Metrics["rx"]
 			tx += r.Metrics["tx"]
 		}
 		b.ReportMetric(rx/3, "react_rx")
 		b.ReportMetric(tx/3, "react_tx")
+	}
+}
+
+// BenchmarkSeedSweep (ours) exercises the multi-seed Sweep path the engine
+// opens beyond the paper's fixed grid: DE on five fresh RF Cart instances,
+// reporting the across-seed mean and spread of the figure of merit.
+func BenchmarkSeedSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		blocks, err := react.Sweep(context.Background(), nil, react.SweepSeeds(5),
+			func(_ context.Context, seed uint64) (float64, error) {
+				r, err := experiments.RunCell(react.RFCart(seed), "REACT", "DE",
+					experiments.Options{Seed: seed})
+				if err != nil {
+					return 0, err
+				}
+				return experiments.Perf("DE", r), nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum, sumSq float64
+		for _, v := range blocks {
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(len(blocks))
+		b.ReportMetric(mean, "blocks_mean")
+		variance := sumSq/float64(len(blocks)) - mean*mean
+		if variance < 0 {
+			variance = 0 // rounding when the per-seed values coincide
+		}
+		b.ReportMetric(variance, "blocks_var")
 	}
 }
 
@@ -231,26 +264,38 @@ func BenchmarkReclamation(b *testing.B) {
 	}
 }
 
+// sweepBlocks runs one DE simulation per point through the engine and
+// returns the completed-block counts in point order.
+func sweepBlocks[P any](b *testing.B, points []P, cfg func(P) react.SimConfig) []float64 {
+	b.Helper()
+	blocks, err := react.Sweep(context.Background(), nil, points,
+		func(_ context.Context, p P) (float64, error) {
+			res, err := react.Run(cfg(p))
+			if err != nil {
+				return 0, err
+			}
+			return res.Metrics["blocks"], nil
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blocks
+}
+
 // BenchmarkAblationDiode (A1) compares REACT built with active ideal
 // diodes against Schottky isolation diodes on the bursty RF Cart trace.
 func BenchmarkAblationDiode(b *testing.B) {
-	run := func(drop float64) float64 {
-		cfg := react.DefaultConfig()
-		cfg.DiodeDrop = drop
-		dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFCart(1), nil),
-			Buffer:   react.NewREACT(cfg),
-			Device:   dev,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return res.Metrics["blocks"]
-	}
 	for i := 0; i < b.N; i++ {
-		ideal := run(0)
-		schottky := run(0.3)
+		blocks := sweepBlocks(b, []float64{0, 0.3}, func(drop float64) react.SimConfig {
+			cfg := react.DefaultConfig()
+			cfg.DiodeDrop = drop
+			return react.SimConfig{
+				Frontend: react.NewFrontend(react.RFCart(1), nil),
+				Buffer:   react.NewREACT(cfg),
+				Device:   react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3)),
+			}
+		})
+		ideal, schottky := blocks[0], blocks[1]
 		b.ReportMetric(ideal, "blocks_ideal")
 		b.ReportMetric(schottky, "blocks_schottky")
 		b.ReportMetric((ideal/schottky-1)*100, "ideal_gain_pct")
@@ -259,68 +304,60 @@ func BenchmarkAblationDiode(b *testing.B) {
 
 // BenchmarkAblationPollRate (A2) sweeps the controller polling rate.
 func BenchmarkAblationPollRate(b *testing.B) {
-	run := func(hz float64) float64 {
-		cfg := react.DefaultConfig()
-		cfg.PollHz = hz
-		// The paper's 1.8 % penalty is measured at 10 Hz; scale with rate.
-		cfg.SoftwareOverhead = 0.018 * hz / 10
-		dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFCart(1), nil),
-			Buffer:   react.NewREACT(cfg),
-			Device:   dev,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return res.Metrics["blocks"]
-	}
 	for i := 0; i < b.N; i++ {
-		b.ReportMetric(run(1), "blocks_1Hz")
-		b.ReportMetric(run(10), "blocks_10Hz")
-		b.ReportMetric(run(100), "blocks_100Hz")
+		blocks := sweepBlocks(b, []float64{1, 10, 100}, func(hz float64) react.SimConfig {
+			cfg := react.DefaultConfig()
+			cfg.PollHz = hz
+			// The paper's 1.8 % penalty is measured at 10 Hz; scale with rate.
+			cfg.SoftwareOverhead = 0.018 * hz / 10
+			return react.SimConfig{
+				Frontend: react.NewFrontend(react.RFCart(1), nil),
+				Buffer:   react.NewREACT(cfg),
+				Device:   react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3)),
+			}
+		})
+		b.ReportMetric(blocks[0], "blocks_1Hz")
+		b.ReportMetric(blocks[1], "blocks_10Hz")
+		b.ReportMetric(blocks[2], "blocks_100Hz")
 	}
 }
 
 // BenchmarkAblationBanks (A3) sweeps how finely the bank fabric is divided.
 func BenchmarkAblationBanks(b *testing.B) {
-	run := func(banks []react.BankSpec) float64 {
-		cfg := react.DefaultConfig()
-		cfg.Banks = banks
-		dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFCart(1), nil),
-			Buffer:   react.NewREACT(cfg),
-			Device:   dev,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return res.Metrics["blocks"]
-	}
 	full := react.DefaultConfig().Banks
 	// One big bank with the same total capacitance (2 × 8.63 mF).
 	coarse := []react.BankSpec{{N: 2, UnitC: 8.63e-3, LeakI: 2e-6, VRated: 6.3}}
 	for i := 0; i < b.N; i++ {
-		b.ReportMetric(run(full), "blocks_5banks")
-		b.ReportMetric(run(coarse), "blocks_1bank")
+		blocks := sweepBlocks(b, [][]react.BankSpec{full, coarse}, func(banks []react.BankSpec) react.SimConfig {
+			cfg := react.DefaultConfig()
+			cfg.Banks = banks
+			return react.SimConfig{
+				Frontend: react.NewFrontend(react.RFCart(1), nil),
+				Buffer:   react.NewREACT(cfg),
+				Device:   react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3)),
+			}
+		})
+		b.ReportMetric(blocks[0], "blocks_5banks")
+		b.ReportMetric(blocks[1], "blocks_1bank")
 	}
 }
 
 // BenchmarkAblationTimestep (A4) checks result stability across integration
 // timesteps (0.5 ms vs 2 ms vs the default 1 ms).
 func BenchmarkAblationTimestep(b *testing.B) {
-	run := func(dt float64) float64 {
-		r, err := experiments.RunCell(react.RFCart(1), "REACT", "DE", experiments.Options{DT: dt})
+	for i := 0; i < b.N; i++ {
+		blocks, err := react.Sweep(context.Background(), nil, []float64{0.5e-3, 1e-3, 2e-3},
+			func(_ context.Context, dt float64) (float64, error) {
+				r, err := experiments.RunCell(react.RFCart(1), "REACT", "DE", experiments.Options{DT: dt})
+				if err != nil {
+					return 0, err
+				}
+				return r.Metrics["blocks"], nil
+			})
 		if err != nil {
 			b.Fatal(err)
 		}
-		return r.Metrics["blocks"]
-	}
-	for i := 0; i < b.N; i++ {
-		fine := run(0.5e-3)
-		def := run(1e-3)
-		coarse := run(2e-3)
+		fine, def, coarse := blocks[0], blocks[1], blocks[2]
 		b.ReportMetric(def, "blocks_1ms")
 		b.ReportMetric((fine/def-1)*100, "drift_0.5ms_pct")
 		b.ReportMetric((coarse/def-1)*100, "drift_2ms_pct")
@@ -351,21 +388,19 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // RF Cart trace: discrete pre-provisioned banks versus a continuously
 // reconfigurable fabric.
 func BenchmarkExtensionCapybara(b *testing.B) {
-	run := func(buf react.Buffer) float64 {
-		dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFCart(1), nil),
-			Buffer:   buf,
-			Device:   dev,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return res.Metrics["blocks"]
+	mk := []func() react.Buffer{
+		func() react.Buffer { return react.NewCapybara(react.DefaultCapybaraConfig()) },
+		func() react.Buffer { return react.NewREACT(react.DefaultConfig()) },
 	}
 	for i := 0; i < b.N; i++ {
-		capy := run(react.NewCapybara(react.DefaultCapybaraConfig()))
-		reactBlocks := run(react.NewREACT(react.DefaultConfig()))
+		blocks := sweepBlocks(b, mk, func(newBuf func() react.Buffer) react.SimConfig {
+			return react.SimConfig{
+				Frontend: react.NewFrontend(react.RFCart(1), nil),
+				Buffer:   newBuf(),
+				Device:   react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3)),
+			}
+		})
+		capy, reactBlocks := blocks[0], blocks[1]
 		b.ReportMetric(capy, "blocks_capybara")
 		b.ReportMetric(reactBlocks, "blocks_react")
 		b.ReportMetric((reactBlocks/capy-1)*100, "react_gain_pct")
@@ -376,21 +411,26 @@ func BenchmarkExtensionCapybara(b *testing.B) {
 // benchmark accumulates when deadlines survive power failures through a
 // remanence timekeeper instead of a perfect external clock.
 func BenchmarkExtensionTimekeeper(b *testing.B) {
-	run := func(wl react.Workload) react.Result {
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFMobile(1), nil),
-			Buffer:   react.NewREACT(react.DefaultConfig()),
-			Device:   react.NewDevice(react.DefaultProfile(), wl),
-		})
+	prof := react.DefaultProfile()
+	mk := []func() react.Workload{
+		func() react.Workload { return react.NewSenseCompute(prof.SleepI) },
+		func() react.Workload {
+			return react.NewSenseComputeWithTimekeeper(prof.SleepI, react.NewTimekeeper())
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := react.Sweep(context.Background(), nil, mk,
+			func(_ context.Context, newWL func() react.Workload) (react.Result, error) {
+				return react.Run(react.SimConfig{
+					Frontend: react.NewFrontend(react.RFMobile(1), nil),
+					Buffer:   react.NewREACT(react.DefaultConfig()),
+					Device:   react.NewDevice(prof, newWL()),
+				})
+			})
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res
-	}
-	prof := react.DefaultProfile()
-	for i := 0; i < b.N; i++ {
-		perfect := run(react.NewSenseCompute(prof.SleepI))
-		remanence := run(react.NewSenseComputeWithTimekeeper(prof.SleepI, react.NewTimekeeper()))
+		perfect, remanence := res[0], res[1]
 		b.ReportMetric(perfect.Metrics["samples"], "samples_perfect")
 		b.ReportMetric(remanence.Metrics["samples"], "samples_remanence")
 		b.ReportMetric(remanence.Metrics["timing_err_mean"], "timing_err_s")
@@ -402,55 +442,54 @@ func BenchmarkExtensionTimekeeper(b *testing.B) {
 // trades stored energy at wake-up for responsiveness — without escaping
 // the size tradeoff.
 func BenchmarkAblationEnableVoltage(b *testing.B) {
-	run := func(vEnable float64) float64 {
-		prof := react.DefaultProfile()
-		prof.VEnable = vEnable
-		dev := react.NewDevice(prof, react.NewSenseCompute(prof.SleepI))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFObstructed(1), nil),
-			Buffer: react.NewStatic(react.StaticConfig{
-				Name: "770 µF", C: 770e-6, VMax: 3.6, LeakI: 0.77e-6, VRated: 6.3,
-			}),
-			Device: dev,
-		})
+	for i := 0; i < b.N; i++ {
+		samples, err := react.Sweep(context.Background(), nil, []float64{2.2, 3.3},
+			func(_ context.Context, vEnable float64) (float64, error) {
+				prof := react.DefaultProfile()
+				prof.VEnable = vEnable
+				res, err := react.Run(react.SimConfig{
+					Frontend: react.NewFrontend(react.RFObstructed(1), nil),
+					Buffer: react.NewStatic(react.StaticConfig{
+						Name: "770 µF", C: 770e-6, VMax: 3.6, LeakI: 0.77e-6, VRated: 6.3,
+					}),
+					Device: react.NewDevice(prof, react.NewSenseCompute(prof.SleepI)),
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics["samples"], nil
+			})
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res.Metrics["samples"]
-	}
-	for i := 0; i < b.N; i++ {
-		b.ReportMetric(run(2.2), "samples_enable2.2V")
-		b.ReportMetric(run(3.3), "samples_enable3.3V")
+		b.ReportMetric(samples[0], "samples_enable2.2V")
+		b.ReportMetric(samples[1], "samples_enable3.3V")
 	}
 }
 
 // BenchmarkAblationLLB (A6, ours) sweeps REACT's last-level buffer size:
 // the knob trading cold-start latency against the minimum work quantum.
 func BenchmarkAblationLLB(b *testing.B) {
-	run := func(llb float64) (latency, blocks float64) {
-		cfg := react.DefaultConfig()
-		cfg.LLB.C = llb
-		dev := react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFMobile(1), nil),
-			Buffer:   react.NewREACT(cfg),
-			Device:   dev,
-		})
+	for i := 0; i < b.N; i++ {
+		res, err := react.Sweep(context.Background(), nil, []float64{330e-6, 770e-6, 2e-3},
+			func(_ context.Context, llb float64) (react.Result, error) {
+				cfg := react.DefaultConfig()
+				cfg.LLB.C = llb
+				return react.Run(react.SimConfig{
+					Frontend: react.NewFrontend(react.RFMobile(1), nil),
+					Buffer:   react.NewREACT(cfg),
+					Device:   react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3)),
+				})
+			})
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res.Latency, res.Metrics["blocks"]
-	}
-	for i := 0; i < b.N; i++ {
-		lat3, bl3 := run(330e-6)
-		lat7, bl7 := run(770e-6)
-		lat2m, bl2m := run(2e-3)
-		b.ReportMetric(lat3, "latency_330uF")
-		b.ReportMetric(lat7, "latency_770uF")
-		b.ReportMetric(lat2m, "latency_2mF")
-		b.ReportMetric(bl3, "blocks_330uF")
-		b.ReportMetric(bl7, "blocks_770uF")
-		b.ReportMetric(bl2m, "blocks_2mF")
+		b.ReportMetric(res[0].Latency, "latency_330uF")
+		b.ReportMetric(res[1].Latency, "latency_770uF")
+		b.ReportMetric(res[2].Latency, "latency_2mF")
+		b.ReportMetric(res[0].Metrics["blocks"], "blocks_330uF")
+		b.ReportMetric(res[1].Metrics["blocks"], "blocks_770uF")
+		b.ReportMetric(res[2].Metrics["blocks"], "blocks_2mF")
 	}
 }
 
@@ -458,24 +497,27 @@ func BenchmarkAblationLLB(b *testing.B) {
 // reclamation trigger V_low. Too close to the brownout voltage risks dying
 // before reclaiming; too high reclaims early and wastes headroom.
 func BenchmarkAblationThresholds(b *testing.B) {
-	run := func(vLow float64) float64 {
-		cfg := react.DefaultConfig()
-		cfg.VLow = vLow
-		dev := react.NewDevice(react.DefaultProfile(), react.NewRadioTransmit(react.DefaultProfile().SleepI))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFCart(1), nil),
-			Buffer:   react.NewREACT(cfg),
-			Device:   dev,
-		})
+	for i := 0; i < b.N; i++ {
+		tx, err := react.Sweep(context.Background(), nil, []float64{1.85, 1.9, 2.2},
+			func(_ context.Context, vLow float64) (float64, error) {
+				cfg := react.DefaultConfig()
+				cfg.VLow = vLow
+				res, err := react.Run(react.SimConfig{
+					Frontend: react.NewFrontend(react.RFCart(1), nil),
+					Buffer:   react.NewREACT(cfg),
+					Device:   react.NewDevice(react.DefaultProfile(), react.NewRadioTransmit(react.DefaultProfile().SleepI)),
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics["tx"], nil
+			})
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res.Metrics["tx"]
-	}
-	for i := 0; i < b.N; i++ {
-		b.ReportMetric(run(1.85), "tx_vlow1.85")
-		b.ReportMetric(run(1.9), "tx_vlow1.90")
-		b.ReportMetric(run(2.2), "tx_vlow2.20")
+		b.ReportMetric(tx[0], "tx_vlow1.85")
+		b.ReportMetric(tx[1], "tx_vlow1.90")
+		b.ReportMetric(tx[2], "tx_vlow2.20")
 	}
 }
 
@@ -486,29 +528,38 @@ func BenchmarkAblationThresholds(b *testing.B) {
 func BenchmarkExtensionDewdrop(b *testing.B) {
 	prof := react.DefaultProfile()
 	txEnergy := 4.95e-3 * 1.4
-	run := func(buf react.Buffer) float64 {
-		dev := react.NewDevice(prof, react.NewRadioTransmit(prof.SleepI))
-		res, err := react.Run(react.SimConfig{
-			Frontend: react.NewFrontend(react.RFCart(1), nil),
-			Buffer:   buf,
-			Device:   dev,
-		})
+	mk := []func() react.Buffer{
+		func() react.Buffer {
+			return react.NewStatic(react.StaticConfig{
+				Name: "2.2 mF", C: 2.2e-3, VMax: 3.6, LeakI: 2.2e-6, VRated: 6.3,
+			})
+		},
+		func() react.Buffer {
+			return react.NewDewdrop(react.DewdropConfig{
+				C: 2.2e-3, VMax: 3.6, VMin: prof.VBrownout,
+				LeakI: 2.2e-6, VRated: 6.3, TaskEnergy: txEnergy,
+			})
+		},
+		func() react.Buffer { return react.NewREACT(react.DefaultConfig()) },
+	}
+	for i := 0; i < b.N; i++ {
+		tx, err := react.Sweep(context.Background(), nil, mk,
+			func(_ context.Context, newBuf func() react.Buffer) (float64, error) {
+				res, err := react.Run(react.SimConfig{
+					Frontend: react.NewFrontend(react.RFCart(1), nil),
+					Buffer:   newBuf(),
+					Device:   react.NewDevice(prof, react.NewRadioTransmit(prof.SleepI)),
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics["tx"], nil
+			})
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res.Metrics["tx"]
-	}
-	for i := 0; i < b.N; i++ {
-		static := run(react.NewStatic(react.StaticConfig{
-			Name: "2.2 mF", C: 2.2e-3, VMax: 3.6, LeakI: 2.2e-6, VRated: 6.3,
-		}))
-		dewdrop := run(react.NewDewdrop(react.DewdropConfig{
-			C: 2.2e-3, VMax: 3.6, VMin: prof.VBrownout,
-			LeakI: 2.2e-6, VRated: 6.3, TaskEnergy: txEnergy,
-		}))
-		reactTx := run(react.NewREACT(react.DefaultConfig()))
-		b.ReportMetric(static, "tx_static")
-		b.ReportMetric(dewdrop, "tx_dewdrop")
-		b.ReportMetric(reactTx, "tx_react")
+		b.ReportMetric(tx[0], "tx_static")
+		b.ReportMetric(tx[1], "tx_dewdrop")
+		b.ReportMetric(tx[2], "tx_react")
 	}
 }

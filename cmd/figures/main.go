@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,13 +21,15 @@ import (
 	"strings"
 
 	"react/internal/experiments"
+	"react/internal/runner"
 )
 
 func main() {
 	var (
-		fig  = flag.String("fig", "1", "which figure: 1, 6, 7, background")
-		seed = flag.Uint64("seed", 1, "trace/event seed")
-		out  = flag.String("out", "figures", "output directory for CSV series")
+		fig     = flag.String("fig", "1", "which figure: 1, 6, 7, background")
+		seed    = flag.Uint64("seed", 1, "trace/event seed")
+		out     = flag.String("out", "figures", "output directory for CSV series")
+		workers = flag.Int("workers", 0, "worker pool size for the grid (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -76,7 +79,16 @@ func main() {
 		}
 	case "7":
 		fmt.Fprintln(os.Stderr, "figures: running the evaluation grid...")
-		grid, err := experiments.RunGrid(opt)
+		r := &runner.Runner{
+			Workers: *workers,
+			OnProgress: func(p runner.Progress) {
+				fmt.Fprintf(os.Stderr, "\rfigures: %d/%d cells", p.Done, p.Total)
+				if p.Done == p.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			},
+		}
+		grid, err := experiments.RunGridOn(context.Background(), r, opt)
 		if err != nil {
 			fatal(err)
 		}

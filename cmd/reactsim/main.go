@@ -1,10 +1,15 @@
-// Command reactsim runs one simulation cell: a power trace driving an
-// energy buffer powering a benchmark workload, and reports the outcome.
+// Command reactsim runs simulation cells: a power trace driving an energy
+// buffer powering a benchmark workload, and reports the outcome.
 //
 // Usage:
 //
 //	reactsim [-trace name|-tracefile f.csv] [-buffer name] [-bench name]
-//	         [-seed n] [-dt s] [-record file.csv] [-v]
+//	         [-seed n] [-seeds n] [-dt s] [-record file.csv] [-v]
+//
+// With -seeds n (n > 1) it runs a multi-seed sweep through the shared
+// experiment engine — n independent instances of the scenario on seeds
+// 1..n — and reports each metric's across-seed mean and standard
+// deviation instead of a single run's values.
 //
 // Buffers: "770 µF", "10 mF", "17 mF", "Morphy", "REACT", plus the
 // related-work extensions "Capybara" and "Dewdrop".
@@ -13,12 +18,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
 	"react/internal/experiments"
+	"react/internal/runner"
+	"react/internal/sim"
 	"react/internal/trace"
 )
 
@@ -49,11 +58,27 @@ func main() {
 		bufName   = flag.String("buffer", "REACT", `buffer design ("770 µF", "10 mF", "17 mF", "Morphy", "REACT", "Capybara", "Dewdrop")`)
 		bench     = flag.String("bench", "DE", "benchmark (DE, SC, RT, PF)")
 		seed      = flag.Uint64("seed", 1, "trace/event seed")
+		seeds     = flag.Int("seeds", 1, "run a multi-seed sweep over seeds 1..n and report mean ± std")
 		dt        = flag.Float64("dt", 1e-3, "integration timestep (s)")
 		record    = flag.String("record", "", "write a voltage/state CSV recording to this file")
 		verbose   = flag.Bool("v", false, "print the full energy ledger")
 	)
 	flag.Parse()
+
+	// The experiment factories panic on unknown names (a fixed set); turn
+	// bad CLI input into a friendly error instead of a stack trace.
+	if err := validateNames(*bufName, *bench); err != nil {
+		fmt.Fprintln(os.Stderr, "reactsim:", err)
+		os.Exit(2)
+	}
+
+	if *seeds > 1 {
+		if err := sweepSeeds(*traceName, *traceFile, *bufName, *bench, *seeds, *dt); err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tr, err := loadTrace(*traceName, *traceFile, *seed)
 	if err != nil {
@@ -114,6 +139,104 @@ func main() {
 		}
 		fmt.Printf("recorded %d samples to %s\n", len(res.Samples), *record)
 	}
+}
+
+func validateNames(buf, bench string) error {
+	ok := false
+	for _, b := range experiments.ExtendedBufferNames {
+		if b == buf {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown buffer %q (want %v)", buf, experiments.ExtendedBufferNames)
+	}
+	for _, b := range experiments.BenchmarkNames {
+		if b == bench {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown benchmark %q (want %v)", bench, experiments.BenchmarkNames)
+}
+
+// sweepSeeds runs the scenario once per seed in 1..n over the experiment
+// engine's worker pool and prints each metric's mean ± standard deviation,
+// plus latency and duty-cycle aggregates.
+func sweepSeeds(traceName, traceFile, bufName, bench string, n int, dt float64) error {
+	label := traceName
+	var fileTrace *trace.Trace
+	if traceFile != "" {
+		// A file trace does not vary with the seed (only the workload's
+		// event schedule does); load it once, not once per worker.
+		tr, err := loadTrace(traceName, traceFile, 1)
+		if err != nil {
+			return err
+		}
+		fileTrace = tr
+		label = traceFile
+	}
+	results, err := runner.Sweep(context.Background(), nil, runner.Seeds(n),
+		func(_ context.Context, seed uint64) (sim.Result, error) {
+			tr := fileTrace
+			if tr == nil {
+				var err error
+				if tr, err = namedTrace(traceName, seed); err != nil {
+					return sim.Result{}, err
+				}
+			}
+			return experiments.RunCell(tr, bufName, bench, experiments.Options{Seed: seed, DT: dt})
+		})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sweep    %s / %s / %s over %d seeds\n", label, bufName, bench, n)
+	meanStd := func(get func(sim.Result) float64) (mean, std float64) {
+		var sum, sumSq float64
+		for _, r := range results {
+			v := get(r)
+			sum += v
+			sumSq += v * v
+		}
+		mean = sum / float64(n)
+		if v := sumSq/float64(n) - mean*mean; v > 0 {
+			std = math.Sqrt(v)
+		}
+		return mean, std
+	}
+	// Latency statistics cover only the runs that started: -1 is the
+	// "never reached the enable voltage" sentinel, not a time.
+	started := 0
+	var latSum, latSumSq float64
+	for _, r := range results {
+		if r.Latency >= 0 {
+			started++
+			latSum += r.Latency
+			latSumSq += r.Latency * r.Latency
+		}
+	}
+	if started == 0 {
+		fmt.Printf("latency  never started (0/%d seeds)\n", n)
+	} else {
+		mean := latSum / float64(started)
+		var std float64
+		if v := latSumSq/float64(started) - mean*mean; v > 0 {
+			std = math.Sqrt(v)
+		}
+		fmt.Printf("latency  %.2f ± %.2f s (started %d/%d seeds)\n", mean, std, started, n)
+	}
+	duty, dutyStd := meanStd(func(r sim.Result) float64 { return r.OnFraction() })
+	fmt.Printf("duty     %.1f ± %.1f %%\n", duty*100, dutyStd*100)
+	keys := make([]string, 0, len(results[0].Metrics))
+	for k := range results[0].Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m, s := meanStd(func(r sim.Result) float64 { return r.Metrics[k] })
+		fmt.Printf("metric   %-10s %.1f ± %.1f\n", k, m, s)
+	}
+	return nil
 }
 
 func loadTrace(name, file string, seed uint64) (*trace.Trace, error) {

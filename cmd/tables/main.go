@@ -10,18 +10,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"react/internal/experiments"
+	"react/internal/runner"
 )
 
 func main() {
 	var (
-		which = flag.String("table", "all", "which table: 1, 2, 3, 4, 5, overhead, fig7, all")
-		seed  = flag.Uint64("seed", 1, "trace/event seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		which   = flag.String("table", "all", "which table: 1, 2, 3, 4, 5, overhead, fig7, all")
+		seed    = flag.Uint64("seed", 1, "trace/event seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers = flag.Int("workers", 0, "worker pool size for the grid (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -33,7 +36,16 @@ func main() {
 	if needGrid {
 		var err error
 		fmt.Fprintln(os.Stderr, "tables: running the evaluation grid (4 benchmarks × 5 traces × 5 buffers)...")
-		grid, err = experiments.RunGrid(opt)
+		r := &runner.Runner{
+			Workers: *workers,
+			OnProgress: func(p runner.Progress) {
+				fmt.Fprintf(os.Stderr, "\rtables: %d/%d cells", p.Done, p.Total)
+				if p.Done == p.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			},
+		}
+		grid, err = experiments.RunGridOn(context.Background(), r, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)

@@ -1,6 +1,8 @@
 package react_test
 
 import (
+	"context"
+
 	"fmt"
 
 	"react"
@@ -57,4 +59,35 @@ func ExampleEvaluationTraces() {
 	// RF Mobile        318 s   0.500 mW
 	// Solar Campus    3609 s   5.180 mW
 	// Solar Commute   6030 s   0.148 mW
+}
+
+// Parameter sweeps schedule through the experiment engine's worker pool
+// and return results in point order — here, cold-start latency as a
+// function of the last-level buffer size.
+func ExampleSweep() {
+	sizes := []float64{330e-6, 770e-6, 2e-3}
+	latencies, err := react.Sweep(context.Background(), nil, sizes,
+		func(_ context.Context, llbC float64) (float64, error) {
+			cfg := react.DefaultConfig()
+			cfg.LLB.C = llbC
+			res, err := react.Run(react.SimConfig{
+				Frontend: react.NewFrontend(react.RFCart(1), nil),
+				Buffer:   react.NewREACT(cfg),
+				Device:   react.NewDevice(react.DefaultProfile(), react.NewDataEncryption(0.6e-3)),
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Latency, nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	for i, c := range sizes {
+		fmt.Printf("LLB %4.0f µF -> first enable after %.1f s\n", c*1e6, latencies[i])
+	}
+	// Output:
+	// LLB  330 µF -> first enable after 2.7 s
+	// LLB  770 µF -> first enable after 3.9 s
+	// LLB 2000 µF -> first enable after 5.0 s
 }

@@ -1,0 +1,3 @@
+module react
+
+go 1.24

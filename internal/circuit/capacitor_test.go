@@ -330,3 +330,19 @@ func TestTransferOneWayProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: drawing almost exactly the stored energy used to produce a
+// NaN when rounding pushed the discriminant v² − 2dE/C fractionally
+// negative while dE was still below the computed extractable maximum.
+func TestDrawEnergyExactDrainNoNaN(t *testing.T) {
+	c := &Capacitor{C: 1e-6 + float64(0x2540)*1e-7}
+	dE := 1e-9 + float64(0x557e)*1e-8
+	StoreEnergy(c, dE, 0)
+	got := DrawEnergy(c, dE)
+	if math.IsNaN(got) || math.Abs(got-dE) > 1e-9*(1+dE) {
+		t.Errorf("round trip of %.12g returned %.12g", dE, got)
+	}
+	if c.Q < 0 || math.IsNaN(c.Q) {
+		t.Errorf("charge corrupted: %g", c.Q)
+	}
+}

@@ -25,15 +25,22 @@ type Node interface {
 // Morphy-style networks lose energy when later re-paralleled.
 type Chain struct {
 	Caps []*Capacitor
+
+	// seriesC caches the series-equivalent capacitance. Member capacitances
+	// are fixed for the life of a chain (only charge moves), so NewChain
+	// computes it once; Capacitance is on the simulation's per-tick path.
+	seriesC   float64
+	hasCached bool
 }
 
 // NewChain builds a series chain over caps.
-func NewChain(caps ...*Capacitor) *Chain { return &Chain{Caps: caps} }
+func NewChain(caps ...*Capacitor) *Chain {
+	return &Chain{Caps: caps, seriesC: seriesCapacitance(caps), hasCached: true}
+}
 
-// Capacitance returns the series-equivalent capacitance 1/Σ(1/Cᵢ).
-func (ch *Chain) Capacitance() float64 {
+func seriesCapacitance(caps []*Capacitor) float64 {
 	inv := 0.0
-	for _, c := range ch.Caps {
+	for _, c := range caps {
 		if c.C == 0 {
 			return 0
 		}
@@ -43,6 +50,14 @@ func (ch *Chain) Capacitance() float64 {
 		return 0
 	}
 	return 1 / inv
+}
+
+// Capacitance returns the series-equivalent capacitance 1/Σ(1/Cᵢ).
+func (ch *Chain) Capacitance() float64 {
+	if ch.hasCached {
+		return ch.seriesC
+	}
+	return seriesCapacitance(ch.Caps)
 }
 
 // Voltage returns the terminal voltage Σ Vᵢ.
@@ -88,17 +103,34 @@ func EqualizeParallel(nodes ...Node) (v, loss float64) {
 	if len(nodes) == 0 {
 		return 0, 0
 	}
-	var csum, qsum, before float64
+	var csum, qsum float64
+	minV, maxV := math.Inf(1), math.Inf(-1)
 	for _, n := range nodes {
 		c := n.Capacitance()
+		nv := n.Voltage()
 		csum += c
-		qsum += c * n.Voltage()
-		before += n.Energy()
+		qsum += c * nv
+		if nv < minV {
+			minV = nv
+		}
+		if nv > maxV {
+			maxV = nv
+		}
 	}
 	if csum == 0 {
 		return 0, 0
 	}
 	v = qsum / csum
+	// Fast path: a network already within a nanovolt of equal is equalized
+	// in steady state (the redistribution and its dissipation are below
+	// rounding), and simulation loops call this every tick.
+	if maxV-minV < 1e-9 {
+		return v, 0
+	}
+	var before float64
+	for _, n := range nodes {
+		before += n.Energy()
+	}
 	after := 0.0
 	for _, n := range nodes {
 		n.AddCharge(n.Capacitance() * (v - n.Voltage()))
@@ -175,11 +207,13 @@ func DrawEnergy(n Node, dE float64) float64 {
 	// Energy extractable at the terminal before voltage reaches zero.
 	maxTerm := c * v * v / 2
 	var dq float64
-	if dE >= maxTerm {
-		dq = c * v
+	// v·dq − dq²/(2C) = dE  ⇒  dq = C(v − sqrt(v² − 2dE/C)). When dE is
+	// within rounding of maxTerm the radicand can come out negative even
+	// though dE < maxTerm held; both cases drain the node fully.
+	if rad := v*v - 2*dE/c; dE < maxTerm && rad > 0 {
+		dq = c * (v - math.Sqrt(rad))
 	} else {
-		// v·dq − dq²/(2C) = dE  ⇒  dq = C(v − sqrt(v² − 2dE/C)).
-		dq = c * (v - math.Sqrt(v*v-2*dE/c))
+		dq = c * v
 	}
 	n.AddCharge(-dq)
 	drawn := before - n.Energy()

@@ -95,6 +95,10 @@ type Buffer struct {
 	step   int // controller position in the expand sequence: 0..2·len(banks)
 	ledger buffer.Ledger
 	poll   float64 // seconds until the next controller poll
+
+	// scratch backs connected() so the per-tick Harvest path does not
+	// allocate; its contents are only valid within one call.
+	scratch []circuit.Node
 }
 
 var (
@@ -129,14 +133,16 @@ func (b *Buffer) Config() Config { return b.cfg }
 // Banks exposes the bank states for inspection (tests, tracing).
 func (b *Buffer) Banks() []*Bank { return b.banks }
 
-// connected returns the nodes currently joined to the rail, LLB first.
+// connected returns the nodes currently joined to the rail, LLB first. The
+// slice is scratch storage shared across calls — do not retain it.
 func (b *Buffer) connected() []circuit.Node {
-	nodes := []circuit.Node{&b.llb}
+	nodes := append(b.scratch[:0], &b.llb)
 	for _, bank := range b.banks {
 		if bank.State != Disconnected {
 			nodes = append(nodes, bank)
 		}
 	}
+	b.scratch = nodes
 	return nodes
 }
 
@@ -157,11 +163,9 @@ func (b *Buffer) Harvest(dE float64) {
 		}
 	}
 	const tie = 1e-3
-	var group []circuit.Node
 	var groupC float64
 	for _, n := range nodes {
 		if n.Voltage() <= minV+tie {
-			group = append(group, n)
 			groupC += n.Capacitance()
 		}
 	}
@@ -169,7 +173,10 @@ func (b *Buffer) Harvest(dE float64) {
 		b.ledger.Clipped += dE
 		return
 	}
-	for _, n := range group {
+	for _, n := range nodes {
+		if n.Voltage() > minV+tie {
+			continue
+		}
 		share := dE * n.Capacitance() / groupC
 		_, loss := circuit.StoreEnergy(n, share, b.cfg.DiodeDrop)
 		b.ledger.SwitchLoss += loss

@@ -5,9 +5,7 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"context"
 
 	"react/internal/buffer"
 	"react/internal/capybara"
@@ -16,6 +14,7 @@ import (
 	"react/internal/mcu"
 	"react/internal/morphy"
 	"react/internal/radio"
+	"react/internal/runner"
 	"react/internal/sim"
 	"react/internal/trace"
 	"react/internal/workload"
@@ -23,6 +22,10 @@ import (
 
 // BufferNames lists the five evaluated buffers in the paper's column order.
 var BufferNames = []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT"}
+
+// ExtendedBufferNames is every buffer NewBuffer can construct: the paper's
+// five plus the related-work extensions.
+var ExtendedBufferNames = []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT", "Capybara", "Dewdrop"}
 
 // BenchmarkNames lists the four benchmarks in presentation order.
 var BenchmarkNames = []string{"DE", "SC", "RT", "PF"}
@@ -143,56 +146,24 @@ func RunCell(tr *trace.Trace, bufName, bench string, opt Options) (sim.Result, e
 	})
 }
 
-// Grid holds the full evaluation grid, indexed [benchmark][trace][buffer].
-type Grid struct {
-	Traces  []*trace.Trace
-	Results map[string]map[string]map[string]sim.Result
-}
+// Grid is the dense evaluation-grid result store (benchmark × trace ×
+// buffer), shared with every other grid-shaped driver via internal/runner.
+type Grid = runner.Grid
 
 // RunGrid executes the complete evaluation (4 benchmarks × 5 traces × 5
-// buffers) in parallel and returns the populated grid.
+// buffers) over the default worker pool and returns the populated grid.
 func RunGrid(opt Options) (*Grid, error) {
-	traces := trace.Evaluation(opt.seed())
-	g := &Grid{Traces: traces, Results: map[string]map[string]map[string]sim.Result{}}
-	type cell struct {
-		bench, tr, buf string
-		res            sim.Result
-		err            error
-	}
-	var jobs []cell
-	for _, bench := range BenchmarkNames {
-		g.Results[bench] = map[string]map[string]sim.Result{}
-		for _, tr := range traces {
-			g.Results[bench][tr.Name] = map[string]sim.Result{}
-			for _, buf := range BufferNames {
-				jobs = append(jobs, cell{bench: bench, tr: tr.Name, buf: buf})
-			}
-		}
-	}
-	byName := map[string]*trace.Trace{}
-	for _, tr := range traces {
-		byName[tr.Name] = tr
-	}
+	return RunGridOn(context.Background(), nil, opt)
+}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range jobs {
-		wg.Add(1)
-		go func(c *cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c.res, c.err = RunCell(byName[c.tr], c.buf, c.bench, opt)
-		}(&jobs[i])
-	}
-	wg.Wait()
-	for _, c := range jobs {
-		if c.err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s/%s: %w", c.bench, c.tr, c.buf, c.err)
-		}
-		g.Results[c.bench][c.tr][c.buf] = c.res
-	}
-	return g, nil
+// RunGridOn is RunGrid with an explicit context and runner, for callers
+// that need cancellation, a bounded pool, or progress reporting.
+func RunGridOn(ctx context.Context, r *runner.Runner, opt Options) (*Grid, error) {
+	traces := trace.Evaluation(opt.seed())
+	return runner.RunGrid(ctx, r, BenchmarkNames, traces, BufferNames,
+		func(ctx context.Context, bench string, tr *trace.Trace, buf string) (sim.Result, error) {
+			return RunCell(tr, buf, bench, opt)
+		})
 }
 
 // Perf returns the figure of merit for one result: completed blocks (DE),

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
+	"react/internal/runner"
+	"react/internal/sim"
 	"react/internal/trace"
 )
 
@@ -202,9 +205,9 @@ func TestGridShape(t *testing.T) {
 	var reactLat, smallLat, bigLat float64
 	n := 0
 	for _, tr := range g.Traces {
-		reactLat += g.Results["DE"][tr.Name]["REACT"].Latency
-		smallLat += g.Results["DE"][tr.Name]["770 µF"].Latency
-		if l := g.Results["DE"][tr.Name]["17 mF"].Latency; l >= 0 {
+		reactLat += g.At("DE", tr.Name, "REACT").Latency
+		smallLat += g.At("DE", tr.Name, "770 µF").Latency
+		if l := g.At("DE", tr.Name, "17 mF").Latency; l >= 0 {
 			bigLat += l
 			n++
 		}
@@ -224,6 +227,45 @@ func TestGridShape(t *testing.T) {
 			t.Errorf("table %q renders empty", tbl.Title)
 		}
 	}
+}
+
+// TestRunnerGridMatchesSequentialCells runs a reduced grid (every evaluated
+// buffer plus the extensions, over the short RF traces) through the shared
+// runner and checks two properties of the engine port: every cell's energy
+// ledger balances, and every cell is bit-identical to running the same
+// RunCell sequentially — scheduling through the worker pool changes
+// nothing about the results.
+func TestRunnerGridMatchesSequentialCells(t *testing.T) {
+	traces := []*trace.Trace{trace.RFCart(1), trace.RFObstructed(1)}
+	buffers := ExtendedBufferNames
+	opt := Options{}
+	g, err := runner.RunGrid(context.Background(), &runner.Runner{Workers: 4},
+		[]string{"RT"}, traces, buffers,
+		func(_ context.Context, bench string, tr *trace.Trace, buf string) (sim.Result, error) {
+			return RunCell(tr, buf, bench, opt)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Each(func(bench string, tr *trace.Trace, buf string, r sim.Result) {
+		if e := r.EnergyBalanceError(); e > 1e-6 {
+			t.Errorf("%s/%s/%s: energy balance error %g", bench, tr.Name, buf, e)
+		}
+		want, err := RunCell(tr, buf, bench, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Latency != want.Latency || r.OnTime != want.OnTime ||
+			r.Duration != want.Duration || r.Cycles != want.Cycles ||
+			r.Ledger != want.Ledger || r.Stored != want.Stored {
+			t.Errorf("%s/%s/%s: runner result differs from sequential RunCell", bench, tr.Name, buf)
+		}
+		for k, v := range want.Metrics {
+			if r.Metrics[k] != v {
+				t.Errorf("%s/%s/%s: metric %s: %g != %g", bench, tr.Name, buf, k, r.Metrics[k], v)
+			}
+		}
+	})
 }
 
 // TestBackgroundShape checks the §2.1 narration: the reactivity-longevity

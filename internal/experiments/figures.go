@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"react/internal/core"
 	"react/internal/harvest"
 	"react/internal/mcu"
+	"react/internal/runner"
 	"react/internal/sim"
 	"react/internal/trace"
 	"react/internal/workload"
@@ -49,22 +51,21 @@ type Figure1Run struct {
 // power series and each buffer's voltage/on-time series.
 func Figure1(opt Options) ([]Figure1Run, error) {
 	tr := trace.Fig1Pedestrian(opt.seed())
-	var runs []Figure1Run
-	for _, c := range []float64{1e-3, 300e-3} {
-		buf := backgroundBuffer(c)
-		res, err := sim.Run(sim.Config{
-			DT:       opt.DT,
-			Frontend: harvest.NewFrontend(tr, nil),
-			Buffer:   buf,
-			Device:   backgroundDevice(),
-			RecordDT: 1.0,
+	return runner.Sweep(context.Background(), nil, []float64{1e-3, 300e-3},
+		func(ctx context.Context, c float64) (Figure1Run, error) {
+			buf := backgroundBuffer(c)
+			res, err := sim.Run(sim.Config{
+				DT:       opt.DT,
+				Frontend: harvest.NewFrontend(tr, nil),
+				Buffer:   buf,
+				Device:   backgroundDevice(),
+				RecordDT: 1.0,
+			})
+			if err != nil {
+				return Figure1Run{}, err
+			}
+			return Figure1Run{Label: buf.Name(), Result: res, Samples: res.Samples}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, Figure1Run{Label: buf.Name(), Result: res, Samples: res.Samples})
-	}
-	return runs, nil
 }
 
 // Background reproduces the quantitative claims woven through §2.1: the
@@ -90,47 +91,39 @@ type Background struct {
 func RunBackground(opt Options) (Background, error) {
 	var bg Background
 	ped := trace.Fig1Pedestrian(opt.seed())
+	night := trace.Night(opt.seed())
 	bg.EnergyAbove10mW = ped.EnergyFractionAbove(10e-3)
 	bg.TimeBelow3mW = ped.TimeFractionBelow(3e-3)
 
-	run := func(tr *trace.Trace, c float64) (sim.Result, error) {
-		return sim.Run(sim.Config{
-			DT:       opt.DT,
-			Frontend: harvest.NewFrontend(tr, nil),
-			Buffer:   backgroundBuffer(c),
-			Device:   backgroundDevice(),
+	type point struct {
+		tr *trace.Trace
+		c  float64
+	}
+	points := []point{
+		{ped, 1e-3}, {ped, 300e-3},
+		{night, 1e-3}, {night, 10e-3}, {night, 300e-3},
+	}
+	res, err := runner.Sweep(context.Background(), nil, points,
+		func(ctx context.Context, p point) (sim.Result, error) {
+			return sim.Run(sim.Config{
+				DT:       opt.DT,
+				Frontend: harvest.NewFrontend(p.tr, nil),
+				Buffer:   backgroundBuffer(p.c),
+				Device:   backgroundDevice(),
+			})
 		})
+	if err != nil {
+		return bg, err
 	}
 
-	small, err := run(ped, 1e-3)
-	if err != nil {
-		return bg, err
-	}
-	large, err := run(ped, 300e-3)
-	if err != nil {
-		return bg, err
-	}
+	small, large := res[0], res[1]
 	bg.LatencySmall, bg.LatencyLarge = small.Latency, large.Latency
 	bg.CycleSmall, bg.CycleLarge = small.MeanCycle, large.MeanCycle
 	bg.DutySmall = small.OnTime / ped.Duration()
 	bg.DutyLarge = large.OnTime / ped.Duration()
-
-	night := trace.Night(opt.seed())
-	n1, err := run(night, 1e-3)
-	if err != nil {
-		return bg, err
-	}
-	n10, err := run(night, 10e-3)
-	if err != nil {
-		return bg, err
-	}
-	n300, err := run(night, 300e-3)
-	if err != nil {
-		return bg, err
-	}
-	bg.NightDuty1mF = n1.OnTime / night.Duration()
-	bg.NightDuty10mF = n10.OnTime / night.Duration()
-	bg.NightStarted300mF = n300.Latency >= 0
+	bg.NightDuty1mF = res[2].OnTime / night.Duration()
+	bg.NightDuty10mF = res[3].OnTime / night.Duration()
+	bg.NightStarted300mF = res[4].Latency >= 0
 	return bg, nil
 }
 
@@ -162,17 +155,25 @@ func (bg Background) Table() *Table {
 // statics, Morphy, and REACT.
 func Figure6(opt Options) (map[string][]sim.Sample, error) {
 	tr := trace.RFMobile(opt.seed())
-	out := map[string][]sim.Sample{}
-	for _, buf := range []string{"770 µF", "10 mF", "Morphy", "REACT"} {
-		o := opt
-		if o.RecordDT == 0 {
-			o.RecordDT = 0.5
-		}
-		r, err := RunCell(tr, buf, "SC", o)
-		if err != nil {
-			return nil, err
-		}
-		out[buf] = r.Samples
+	buffers := []string{"770 µF", "10 mF", "Morphy", "REACT"}
+	series, err := runner.Sweep(context.Background(), nil, buffers,
+		func(ctx context.Context, buf string) ([]sim.Sample, error) {
+			o := opt
+			if o.RecordDT == 0 {
+				o.RecordDT = 0.5
+			}
+			r, err := RunCell(tr, buf, "SC", o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Samples, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]sim.Sample, len(buffers))
+	for i, buf := range buffers {
+		out[buf] = series[i]
 	}
 	return out, nil
 }
@@ -223,25 +224,22 @@ func RunOverhead(opt Options) (Overhead, error) {
 		steady.Power[i] = 10e-3
 	}
 
-	run := func(softwareOverhead float64) (sim.Result, error) {
-		cfg := core.DefaultConfig()
-		cfg.SoftwareOverhead = softwareOverhead
-		return sim.Run(sim.Config{
-			DT:       opt.DT,
-			Frontend: harvest.NewFrontend(steady, nil),
-			Buffer:   core.New(cfg),
-			Device:   mcu.NewDevice(mcu.DefaultProfile(), workload.NewDataEncryption(DEActiveI)),
+	res, err := runner.Sweep(context.Background(), nil,
+		[]float64{core.DefaultConfig().SoftwareOverhead, 0},
+		func(ctx context.Context, softwareOverhead float64) (sim.Result, error) {
+			cfg := core.DefaultConfig()
+			cfg.SoftwareOverhead = softwareOverhead
+			return sim.Run(sim.Config{
+				DT:       opt.DT,
+				Frontend: harvest.NewFrontend(steady, nil),
+				Buffer:   core.New(cfg),
+				Device:   mcu.NewDevice(mcu.DefaultProfile(), workload.NewDataEncryption(DEActiveI)),
+			})
 		})
-	}
-
-	withPoll, err := run(core.DefaultConfig().SoftwareOverhead)
 	if err != nil {
 		return Overhead{}, err
 	}
-	noPoll, err := run(0)
-	if err != nil {
-		return Overhead{}, err
-	}
+	withPoll, noPoll := res[0], res[1]
 
 	var o Overhead
 	if n := noPoll.Metrics["blocks"]; n > 0 {

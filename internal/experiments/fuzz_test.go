@@ -39,7 +39,11 @@ func randomTrace(seed uint64) *trace.Trace {
 // for the whole stack — brownouts land mid-boot, mid-burst, mid-TX and
 // mid-reconfiguration.
 func TestFuzzAllCells(t *testing.T) {
-	for seed := uint64(1); seed <= 6; seed++ {
+	maxSeed := uint64(6)
+	if testing.Short() {
+		maxSeed = 2 // the full six-seed sweep dominates the suite's runtime
+	}
+	for seed := uint64(1); seed <= maxSeed; seed++ {
 		tr := randomTrace(seed)
 		for _, buf := range BufferNames {
 			for _, bench := range BenchmarkNames {

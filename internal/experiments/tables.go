@@ -53,7 +53,7 @@ func Table4(g *Grid) *Table {
 		row := []string{tr.Name}
 		var reactLat float64
 		for _, buf := range BufferNames {
-			r := g.Results["DE"][tr.Name][buf]
+			r := g.At("DE", tr.Name, buf)
 			if r.Latency < 0 {
 				row = append(row, "-")
 				continue
@@ -63,7 +63,7 @@ func Table4(g *Grid) *Table {
 				reactLat = r.Latency
 			}
 		}
-		if r := g.Results["DE"][tr.Name]["17 mF"]; r.Latency > 0 && reactLat > 0 {
+		if r := g.At("DE", tr.Name, "17 mF"); r.Latency > 0 && reactLat > 0 {
 			sumRatio += r.Latency / reactLat
 			nRatio++
 		}
@@ -74,7 +74,7 @@ func Table4(g *Grid) *Table {
 		var sum float64
 		n := 0
 		for _, tr := range g.Traces {
-			r := g.Results["DE"][tr.Name][buf]
+			r := g.At("DE", tr.Name, buf)
 			if r.Latency >= 0 {
 				sum += r.Latency
 				n++
@@ -111,7 +111,7 @@ func Table2(g *Grid) *Table {
 		row := []string{tr.Name}
 		for _, bench := range benches {
 			for _, buf := range BufferNames {
-				row = append(row, fmt.Sprintf("%.0f", Perf(bench, g.Results[bench][tr.Name][buf])))
+				row = append(row, fmt.Sprintf("%.0f", Perf(bench, g.At(bench, tr.Name, buf))))
 			}
 		}
 		t.AddRow(row...)
@@ -121,7 +121,7 @@ func Table2(g *Grid) *Table {
 		for _, buf := range BufferNames {
 			var sum float64
 			for _, tr := range g.Traces {
-				sum += Perf(bench, g.Results[bench][tr.Name][buf])
+				sum += Perf(bench, g.At(bench, tr.Name, buf))
 			}
 			means = append(means, fmt.Sprintf("%.0f", sum/float64(len(g.Traces))))
 		}
@@ -143,7 +143,7 @@ func Table5(g *Grid) *Table {
 	for _, tr := range g.Traces {
 		row := []string{tr.Name}
 		for _, buf := range BufferNames {
-			r := g.Results["PF"][tr.Name][buf]
+			r := g.At("PF", tr.Name, buf)
 			row = append(row, fmt.Sprintf("%.0f", r.Metrics["rx"]), fmt.Sprintf("%.0f", r.Metrics["tx"]))
 		}
 		t.AddRow(row...)
@@ -152,7 +152,7 @@ func Table5(g *Grid) *Table {
 	for _, buf := range BufferNames {
 		var rx, tx float64
 		for _, tr := range g.Traces {
-			r := g.Results["PF"][tr.Name][buf]
+			r := g.At("PF", tr.Name, buf)
 			rx += r.Metrics["rx"]
 			tx += r.Metrics["tx"]
 		}
@@ -185,13 +185,13 @@ func ComputeFigure7(g *Grid) Figure7 {
 		f.Normalized[bench] = map[string]float64{}
 		var reactMean float64
 		for _, tr := range g.Traces {
-			reactMean += Perf(bench, g.Results[bench][tr.Name]["REACT"])
+			reactMean += Perf(bench, g.At(bench, tr.Name, "REACT"))
 		}
 		reactMean /= float64(len(g.Traces))
 		for _, buf := range BufferNames {
 			var mean float64
 			for _, tr := range g.Traces {
-				mean += Perf(bench, g.Results[bench][tr.Name][buf])
+				mean += Perf(bench, g.At(bench, tr.Name, buf))
 			}
 			mean /= float64(len(g.Traces))
 			if reactMean > 0 {

@@ -129,3 +129,17 @@ func NewFrontend(tr *trace.Trace, conv Converter) *Frontend {
 func (f *Frontend) Power(t, vBuf float64) float64 {
 	return f.Conv.Deliver(f.Trace.At(t), vBuf)
 }
+
+// Aligned reports whether a simulation loop of timestep dt steps exactly one
+// trace sample per tick, enabling the PowerSample fast path.
+func (f *Frontend) Aligned(dt float64) bool {
+	return f.Trace != nil && f.Trace.DT == dt
+}
+
+// PowerSample is the aligned fast path of Power: the power delivered to a
+// buffer at voltage vBuf during tick i of a loop whose timestep equals the
+// trace sample spacing. It indexes the power slice directly, skipping the
+// per-tick time-to-position division and interpolation.
+func (f *Frontend) PowerSample(i int, vBuf float64) float64 {
+	return f.Conv.Deliver(f.Trace.Sample(i), vBuf)
+}

@@ -99,3 +99,20 @@ func TestFrontendAppliesConverter(t *testing.T) {
 		t.Error("converter must shape delivered power by buffer voltage")
 	}
 }
+
+func TestFrontendAlignedFastPath(t *testing.T) {
+	tr := &trace.Trace{Name: "s", DT: 1e-3, Power: []float64{1e-3, 2e-3}}
+	f := NewFrontend(tr, nil)
+	if !f.Aligned(1e-3) || f.Aligned(2e-3) {
+		t.Error("alignment detection")
+	}
+	for i := range tr.Power {
+		if f.PowerSample(i, 2.0) != f.Power(float64(i)*tr.DT, 2.0) {
+			t.Errorf("sample %d: fast path %g != Power %g", i,
+				f.PowerSample(i, 2.0), f.Power(float64(i)*tr.DT, 2.0))
+		}
+	}
+	if f.PowerSample(99, 2.0) != 0 {
+		t.Error("past-the-end sample must deliver 0")
+	}
+}

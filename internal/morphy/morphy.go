@@ -78,7 +78,8 @@ type Buffer struct {
 	cfg     Config
 	caps    []*circuit.Capacitor
 	chains  []*circuit.Chain
-	idx     int // current partition index
+	nodes   []circuit.Node // chains as circuit nodes; rebuilt with chains
+	idx     int            // current partition index
 	ledger  buffer.Ledger
 	poll    float64
 	holdoff int // polls remaining before another reconfiguration is allowed
@@ -133,24 +134,19 @@ func (b *Buffer) rebuild() {
 		at += m
 		b.chains = append(b.chains, circuit.NewChain(caps...))
 	}
+	b.nodes = b.nodes[:0]
+	for _, ch := range b.chains {
+		b.nodes = append(b.nodes, ch)
+	}
 }
 
 // Name implements buffer.Buffer.
 func (b *Buffer) Name() string { return "Morphy" }
 
-// nodes returns the chains as circuit nodes.
-func (b *Buffer) nodes() []circuit.Node {
-	ns := make([]circuit.Node, len(b.chains))
-	for i, ch := range b.chains {
-		ns[i] = ch
-	}
-	return ns
-}
-
 // equalize relaxes the parallel chain network, charging any imbalance to
 // the switch-loss ledger.
 func (b *Buffer) equalize() {
-	_, loss := circuit.EqualizeParallel(b.nodes()...)
+	_, loss := circuit.EqualizeParallel(b.nodes...)
 	b.ledger.SwitchLoss += loss
 }
 

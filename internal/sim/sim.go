@@ -104,19 +104,37 @@ func Run(cfg Config) (Result, error) {
 	buf, dev, fe := cfg.Buffer, cfg.Device, cfg.Frontend
 	traceDur := fe.Trace.Duration()
 	var samples []Sample
+	if cfg.RecordDT > 0 {
+		// Pre-size for the trace plus the bounded drain tail.
+		samples = make([]Sample, 0, int((traceDur+tailCap)/cfg.RecordDT)+2)
+	}
 	nextRecord := 0.0
 
+	// When the trace sample spacing equals the timestep, tick i reads
+	// sample i directly instead of interpolating (fast path).
+	aligned := fe.Aligned(dt)
+
 	t := 0.0
-	for {
-		v := buf.OutputVoltage()
-		p := fe.Power(t, v)
+	// v is the rail voltage at the start of the tick. The buffer state does
+	// not change between the end of one tick and the start of the next, so
+	// it is computed once per tick (after Tick) and reused for recording,
+	// the drain-phase check, and the next tick's power delivery.
+	v := buf.OutputVoltage()
+	for tick := 0; ; tick++ {
+		var p float64
+		if aligned {
+			p = fe.PowerSample(tick, v)
+		} else {
+			p = fe.Power(t, v)
+		}
 		buf.Harvest(p * dt)
 		dev.Step(t, dt, buf)
 		buf.Tick(t, dt, dev.Powered())
+		v = buf.OutputVoltage()
 
 		if cfg.RecordDT > 0 && t >= nextRecord {
 			samples = append(samples, Sample{
-				T: t, V: buf.OutputVoltage(), On: dev.Powered(),
+				T: t, V: v, On: dev.Powered(),
 				C: buf.Capacitance(), P: p,
 			})
 			nextRecord += cfg.RecordDT
@@ -126,7 +144,7 @@ func Run(cfg Config) (Result, error) {
 		if t >= traceDur {
 			// Drain phase: stop once the device is off and the rail can
 			// no longer reach the enable voltage (no input remains).
-			if !dev.Powered() && buf.OutputVoltage() < dev.Prof.VEnable {
+			if !dev.Powered() && v < dev.Prof.VEnable {
 				break
 			}
 			if t >= traceDur+tailCap {

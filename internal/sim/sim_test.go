@@ -177,3 +177,61 @@ func TestOnFractionZeroDuration(t *testing.T) {
 		t.Error("zero duration must yield zero duty")
 	}
 }
+
+// TestAlignedFastPathMatchesInterpolation: when the trace sample spacing
+// equals the timestep, Run takes the direct-indexing fast path; for a trace
+// whose interpolation is exact (constant power), the result must match the
+// interpolated path over an equivalent trace to within one boundary tick
+// (accumulated floating-point time can land the last tick a hair before
+// the trace end, giving the interpolated path one extra power sample).
+func TestAlignedFastPathMatchesInterpolation(t *testing.T) {
+	const p, dur = 5e-3, 60.0
+	run := func(traceDT float64) Result {
+		tr := &trace.Trace{Name: "steady", DT: traceDT, Power: make([]float64, int(dur/traceDT))}
+		for i := range tr.Power {
+			tr.Power[i] = p
+		}
+		cfg := Config{
+			DT:       1e-3,
+			Frontend: harvest.NewFrontend(tr, nil),
+			Buffer:   buffer.NewStatic(buffer.StaticConfig{C: 1e-3, VMax: 3.6}),
+			Device:   mcu.NewDevice(mcu.DefaultProfile(), &constWorkload{current: 1.5e-3}),
+		}
+		if cfg.Frontend.Aligned(cfg.DT) != (traceDT == 1e-3) {
+			t.Fatalf("alignment detection wrong for trace DT %g", traceDT)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(1e-3)      // aligned: one sample per tick
+	slow := run(1.0)       // interpolated: 1000 ticks per sample
+	const tickE = p * 1e-3 // energy of one boundary tick
+	if math.Abs(fast.OnTime-slow.OnTime) > 2e-3 || fast.Latency != slow.Latency ||
+		math.Abs(fast.Ledger.Harvested-slow.Ledger.Harvested) > 1.5*tickE {
+		t.Errorf("fast path diverges: on %g vs %g, harvested %g vs %g",
+			fast.OnTime, slow.OnTime, fast.Ledger.Harvested, slow.Ledger.Harvested)
+	}
+}
+
+// TestRecordingPreSizedCapacity: pre-sizing must not change what is
+// recorded.
+func TestRecordingPreSizedCapacity(t *testing.T) {
+	cfg := testConfig(5e-3, 30, 1.5e-3)
+	cfg.RecordDT = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(res.Duration / cfg.RecordDT)
+	if len(res.Samples) < want-1 || len(res.Samples) > want+2 {
+		t.Errorf("recorded %d samples over %.1f s at %.1f s spacing", len(res.Samples), res.Duration, cfg.RecordDT)
+	}
+	for i := 1; i < len(res.Samples); i++ {
+		if res.Samples[i].T <= res.Samples[i-1].T {
+			t.Fatal("samples out of order")
+		}
+	}
+}

@@ -52,6 +52,17 @@ func (t *Trace) At(ts float64) float64 {
 	return t.Power[i]*(1-frac) + t.Power[i+1]*frac
 }
 
+// Sample returns the recorded power at sample index i — the fast path for
+// simulation loops whose timestep equals the sample spacing, where tick i
+// lands exactly on sample i and interpolation degenerates to a lookup.
+// Indices outside the recording return 0, matching At's tail behaviour.
+func (t *Trace) Sample(i int) float64 {
+	if i < 0 || i >= len(t.Power) {
+		return 0
+	}
+	return t.Power[i]
+}
+
 // Stats summarizes a trace the way Table 3 does, plus the spike-energy
 // measures used in §2.1.2.
 type Stats struct {

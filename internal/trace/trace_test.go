@@ -182,3 +182,19 @@ func TestNightTraceIsSteadyAndWeak(t *testing.T) {
 		t.Errorf("night trace CV %.2f, want steady (< 0.5)", s.CV)
 	}
 }
+
+func TestSampleIndexing(t *testing.T) {
+	tr := &Trace{Name: "s", DT: 0.5, Power: []float64{1, 2, 3}}
+	if tr.Sample(-1) != 0 || tr.Sample(3) != 0 {
+		t.Error("out-of-range samples must be 0")
+	}
+	for i, want := range tr.Power {
+		if tr.Sample(i) != want {
+			t.Errorf("Sample(%d) = %g, want %g", i, tr.Sample(i), want)
+		}
+	}
+	// At sample instants, Sample and At agree.
+	if tr.Sample(1) != tr.At(0.5) {
+		t.Errorf("Sample(1)=%g, At(0.5)=%g", tr.Sample(1), tr.At(0.5))
+	}
+}

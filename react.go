@@ -33,6 +33,7 @@
 package react
 
 import (
+	"context"
 	"io"
 
 	"react/internal/buffer"
@@ -42,6 +43,7 @@ import (
 	"react/internal/mcu"
 	"react/internal/morphy"
 	"react/internal/radio"
+	"react/internal/runner"
 	"react/internal/sim"
 	"react/internal/timekeeper"
 	"react/internal/trace"
@@ -221,3 +223,47 @@ func NewPacketForward(sleepI float64, seed uint64, duration, meanInterarrival fl
 
 // Run executes a simulation to completion.
 func Run(cfg SimConfig) (Result, error) { return sim.Run(cfg) }
+
+// Experiment-engine types: the shared orchestration layer every multi-run
+// workload (grids, sweeps, benchmarks, tools) schedules through.
+type (
+	// Runner is a bounded worker pool with deterministic dispatch, context
+	// cancellation, per-job error capture and progress callbacks. The zero
+	// value uses GOMAXPROCS workers.
+	Runner = runner.Runner
+	// RunProgress reports one completed job to Runner.OnProgress.
+	RunProgress = runner.Progress
+	// ResultGrid is a dense benchmark × trace × buffer result store.
+	ResultGrid = runner.Grid
+	// GridCellFunc simulates one cell of a result grid.
+	GridCellFunc = runner.CellFunc
+)
+
+// NewResultGrid builds an empty dense result grid over the given axes.
+func NewResultGrid(benchmarks []string, traces []*Trace, buffers []string) *ResultGrid {
+	return runner.NewGrid(benchmarks, traces, buffers)
+}
+
+// RunGrid populates a result grid by running cell for every benchmark ×
+// trace × buffer combination over r's worker pool (nil r uses the default
+// pool sized to GOMAXPROCS).
+func RunGrid(ctx context.Context, r *Runner, benchmarks []string, traces []*Trace, buffers []string, cell GridCellFunc) (*ResultGrid, error) {
+	return runner.RunGrid(ctx, r, benchmarks, traces, buffers, cell)
+}
+
+// Sweep runs fn once per point over r's worker pool and returns the results
+// in point order — the primitive for multi-seed runs, capacitance sweeps,
+// DT sweeps and any other parameter study.
+func Sweep[P, R any](ctx context.Context, r *Runner, points []P, fn func(ctx context.Context, p P) (R, error)) ([]R, error) {
+	return runner.Sweep(ctx, r, points, fn)
+}
+
+// SweepSeeds returns the n deterministic sweep seeds 1..n.
+func SweepSeeds(n int) []uint64 { return runner.Seeds(n) }
+
+// Linspace returns n evenly spaced sweep values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 { return runner.Linspace(lo, hi, n) }
+
+// Logspace returns n logarithmically spaced sweep values from lo to hi
+// inclusive (both positive).
+func Logspace(lo, hi float64, n int) []float64 { return runner.Logspace(lo, hi, n) }
