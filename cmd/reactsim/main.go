@@ -5,20 +5,31 @@
 //
 //	reactsim [-trace name|-tracefile f.csv] [-buffer name] [-bench name]
 //	         [-seed n] [-seeds n] [-dt s] [-record file.csv] [-v]
+//	reactsim -list
+//	reactsim -scenario name [-seed n] [-workers n] [-json]
+//	reactsim -scenario-file spec.json [-seed n] [-workers n] [-json]
 //
 // With -seeds n (n > 1) it runs a multi-seed sweep through the shared
 // experiment engine — n independent instances of the scenario on seeds
 // 1..n — and reports each metric's across-seed mean and standard
 // deviation instead of a single run's values.
 //
+// -list prints the scenario registry (the extended stress catalogue plus
+// the paper's evaluation grid); -scenario runs one registered scenario
+// over its whole buffer set, and -scenario-file runs a JSON scenario spec,
+// so new workloads are runnable without recompiling. -json emits the
+// scenario results as machine-readable JSON.
+//
 // Buffers: "770 µF", "10 mF", "17 mF", "Morphy", "REACT", plus the
 // related-work extensions "Capybara" and "Dewdrop".
-// Benchmarks: DE, SC, RT, PF.
-// Traces: cart, obstructed, mobile, campus, commute, pedestrian, night.
+// Benchmarks: DE, SC, RT, PF (plus ML and MIX in scenario specs).
+// Traces: any registered generator (rf-cart, energy-attack, solar-72h,
+// ...) or the short aliases cart, obstructed, mobile, campus, commute.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -27,28 +38,32 @@ import (
 
 	"react/internal/experiments"
 	"react/internal/runner"
+	"react/internal/scenario"
 	"react/internal/sim"
 	"react/internal/trace"
 )
 
+// traceAliases maps the CLI's historical short trace names onto the
+// canonical generator registry, which -trace also accepts directly — one
+// registry serves the CLI, the scenario specs, and the library.
+var traceAliases = map[string]string{
+	"cart":       "rf-cart",
+	"obstructed": "rf-obstructed",
+	"mobile":     "rf-mobile",
+	"campus":     "solar-campus",
+	"commute":    "solar-commute",
+}
+
 func namedTrace(name string, seed uint64) (*trace.Trace, error) {
-	switch name {
-	case "cart":
-		return trace.RFCart(seed), nil
-	case "obstructed":
-		return trace.RFObstructed(seed), nil
-	case "mobile":
-		return trace.RFMobile(seed), nil
-	case "campus":
-		return trace.SolarCampus(seed), nil
-	case "commute":
-		return trace.SolarCommute(seed), nil
-	case "pedestrian":
-		return trace.Fig1Pedestrian(seed), nil
-	case "night":
-		return trace.Night(seed), nil
+	if canon, ok := traceAliases[name]; ok {
+		name = canon
 	}
-	return nil, fmt.Errorf("unknown trace %q (want cart, obstructed, mobile, campus, commute, pedestrian, night)", name)
+	tr, err := trace.ByName(name, seed)
+	if err != nil {
+		return nil, fmt.Errorf("unknown trace %q (want a short name — cart, obstructed, mobile, campus, commute — or a generator: %v)",
+			name, trace.GeneratorNames())
+	}
+	return tr, nil
 }
 
 func main() {
@@ -62,8 +77,48 @@ func main() {
 		dt        = flag.Float64("dt", 1e-3, "integration timestep (s)")
 		record    = flag.String("record", "", "write a voltage/state CSV recording to this file")
 		verbose   = flag.Bool("v", false, "print the full energy ledger")
+		list      = flag.Bool("list", false, "list the registered scenarios and exit")
+		scenName  = flag.String("scenario", "", "run a registered scenario over its whole buffer set")
+		scenFile  = flag.String("scenario-file", "", "run a JSON scenario spec (overrides -scenario)")
+		workers   = flag.Int("workers", 0, "bound the scenario worker pool (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit scenario results as JSON (with -scenario/-scenario-file)")
 	)
 	flag.Parse()
+
+	if *list {
+		listScenarios()
+		return
+	}
+	// Which flags did the user set explicitly? Scenario specs carry their
+	// own seed and timestep, so only explicit -seed/-dt override them, and
+	// single-cell-only flags must not be silently ignored in scenario mode.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *scenName != "" || *scenFile != "" {
+		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "seeds", "record", "v"} {
+			if explicit[bad] {
+				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to scenario runs (scenarios define their own trace, workload and buffer set)\n", bad)
+				os.Exit(2)
+			}
+		}
+		seedOverride, dtOverride := uint64(0), 0.0
+		if explicit["seed"] {
+			seedOverride = *seed
+		}
+		if explicit["dt"] {
+			dtOverride = *dt
+		}
+		if err := runScenario(*scenName, *scenFile, seedOverride, *workers, dtOverride, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, "reactsim: -json requires -scenario or -scenario-file")
+		os.Exit(2)
+	}
 
 	// The experiment factories panic on unknown names (a fixed set); turn
 	// bad CLI input into a friendly error instead of a stack trace.
@@ -139,6 +194,136 @@ func main() {
 		}
 		fmt.Printf("recorded %d samples to %s\n", len(res.Samples), *record)
 	}
+}
+
+// listScenarios prints the registry: the extended catalogue first, then
+// the paper grid.
+func listScenarios() {
+	specs := scenario.All()
+	fmt.Println("Extended scenarios:")
+	for _, s := range specs {
+		if !s.Paper {
+			fmt.Printf("  %-20s %s\n", s.Name, s.Title)
+		}
+	}
+	fmt.Println("\nPaper evaluation grid:")
+	for _, s := range specs {
+		if s.Paper {
+			fmt.Printf("  %-28s %s\n", s.Name, s.Title)
+		}
+	}
+	fmt.Println("\nRun one with: reactsim -scenario <name> [-seed n] [-workers n] [-json]")
+}
+
+// scenarioJSON is the machine-readable scenario report.
+type scenarioJSON struct {
+	Scenario string           `json:"scenario"`
+	Title    string           `json:"title,omitempty"`
+	Seed     uint64           `json:"seed"`
+	Trace    string           `json:"trace"`
+	Results  []scenarioResult `json:"results"`
+}
+
+type scenarioResult struct {
+	Buffer       string             `json:"buffer"`
+	Latency      float64            `json:"latency_s"`
+	OnTime       float64            `json:"on_time_s"`
+	Duration     float64            `json:"duration_s"`
+	Duty         float64            `json:"duty"`
+	Cycles       int                `json:"cycles"`
+	MeanCycle    float64            `json:"mean_cycle_s"`
+	Metrics      map[string]float64 `json:"metrics"`
+	BalanceError float64            `json:"energy_balance_error"`
+}
+
+// runScenario resolves a scenario (registry name or JSON file), runs every
+// buffer in its set over the engine's pool, and reports per-buffer
+// results.
+func runScenario(name, file string, seed uint64, workers int, dt float64, jsonOut bool) error {
+	var (
+		spec *scenario.Spec
+		err  error
+	)
+	if file != "" {
+		data, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return rerr
+		}
+		if spec, err = scenario.ParseSpec(data); err != nil {
+			return err
+		}
+	} else {
+		var ok bool
+		if spec, ok = scenario.Lookup(name); !ok {
+			return fmt.Errorf("unknown scenario %q (see reactsim -list)", name)
+		}
+	}
+
+	opt := scenario.RunOptions{Seed: seed, Workers: workers, DT: dt}
+	run, err := spec.Run(context.Background(), nil, opt)
+	if err != nil {
+		return err
+	}
+	tr, err := spec.Trace.Build(run.Seed)
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		out := scenarioJSON{Scenario: spec.Name, Title: spec.Title, Seed: run.Seed, Trace: tr.Name}
+		for i, res := range run.Results {
+			out.Results = append(out.Results, scenarioResult{
+				Buffer:       spec.Buffers[i].DisplayName(),
+				Latency:      res.Latency,
+				OnTime:       res.OnTime,
+				Duration:     res.Duration,
+				Duty:         res.OnFraction(),
+				Cycles:       res.Cycles,
+				MeanCycle:    res.MeanCycle,
+				Metrics:      res.Metrics,
+				BalanceError: res.EnergyBalanceError(),
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	s := tr.Stats()
+	fmt.Printf("scenario %s — %s\n", spec.Name, spec.Title)
+	fmt.Printf("trace    %s (%.0f s, %.3g mW mean, CV %.0f%%)\n", tr.Name, s.Duration, s.Mean*1e3, s.CV*100)
+	fmt.Printf("seed     %d\n\n", run.Seed)
+
+	// One row per buffer; columns are the shared stats plus the union of
+	// workload metrics.
+	keySet := map[string]bool{}
+	for _, res := range run.Results {
+		for k := range res.Metrics {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-14s %9s %7s %7s", "buffer", "latency", "duty%", "cycles")
+	for _, k := range keys {
+		fmt.Printf(" %10s", k)
+	}
+	fmt.Println()
+	for i, res := range run.Results {
+		lat := "-"
+		if res.Latency >= 0 {
+			lat = fmt.Sprintf("%.2f", res.Latency)
+		}
+		fmt.Printf("%-14s %9s %7.1f %7d", spec.Buffers[i].DisplayName(), lat, res.OnFraction()*100, res.Cycles)
+		for _, k := range keys {
+			fmt.Printf(" %10.0f", res.Metrics[k])
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func validateNames(buf, bench string) error {

@@ -2,120 +2,63 @@
 // evaluation (§5) plus the §2 background analysis, mapping each onto the
 // simulation substrate. The cmd/ tools and the top-level benchmarks are
 // thin wrappers over this package; see DESIGN.md for the experiment index.
+//
+// Since the scenario subsystem landed, this package no longer owns the
+// buffer/workload factories or the grid cells: the paper's evaluation grid
+// is a set of registered scenarios (internal/scenario), and the factories
+// here delegate to the scenario layer so the paper cells and the extended
+// catalogue share one construction path.
 package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"react/internal/buffer"
-	"react/internal/capybara"
-	"react/internal/core"
-	"react/internal/harvest"
 	"react/internal/mcu"
-	"react/internal/morphy"
-	"react/internal/radio"
 	"react/internal/runner"
+	"react/internal/scenario"
 	"react/internal/sim"
 	"react/internal/trace"
-	"react/internal/workload"
 )
 
 // BufferNames lists the five evaluated buffers in the paper's column order.
-var BufferNames = []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT"}
+var BufferNames = scenario.PaperBuffers
 
-// ExtendedBufferNames is every buffer NewBuffer can construct: the paper's
-// five plus the related-work extensions.
-var ExtendedBufferNames = []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT", "Capybara", "Dewdrop"}
+// ExtendedBufferNames is every buffer preset the scenario layer can
+// construct: the paper's five plus the related-work extensions.
+var ExtendedBufferNames = scenario.PresetBuffers
 
 // BenchmarkNames lists the four benchmarks in presentation order.
-var BenchmarkNames = []string{"DE", "SC", "RT", "PF"}
+var BenchmarkNames = scenario.PaperBenchmarks
 
-// staticLeak returns the leakage current (at 6.3 V rating) for a static
-// buffer of capacitance c: 1 µA per mF, a low-leakage bulk-capacitor
-// figure consistent with buffers that must hold charge across long
-// recharge gaps.
-func staticLeak(c float64) float64 { return c * 1e-3 }
+// DEActiveI is the device current while running the DE benchmark (see
+// scenario.DEActiveI for the rationale).
+const DEActiveI = scenario.DEActiveI
+
+// staticLeak is the shared 1 µA/mF static-capacitor leakage figure.
+func staticLeak(c float64) float64 { return scenario.StaticLeak(c) }
 
 // NewBuffer constructs a fresh instance of one of the evaluated buffers.
 // Beyond the paper's five (BufferNames), the related-work extensions
 // "Capybara" and "Dewdrop" are also constructible for the ablation and
 // extension experiments. It panics on an unknown name — the set is fixed.
 func NewBuffer(name string) buffer.Buffer {
-	switch name {
-	case "770 µF":
-		return buffer.NewStatic(buffer.StaticConfig{
-			Name: name, C: 770e-6, VMax: 3.6, LeakI: staticLeak(770e-6), VRated: 6.3,
-		})
-	case "10 mF":
-		return buffer.NewStatic(buffer.StaticConfig{
-			Name: name, C: 10e-3, VMax: 3.6, LeakI: staticLeak(10e-3), VRated: 6.3,
-		})
-	case "17 mF":
-		return buffer.NewStatic(buffer.StaticConfig{
-			Name: name, C: 17e-3, VMax: 3.6, LeakI: staticLeak(17e-3), VRated: 6.3,
-		})
-	case "Morphy":
-		return morphy.New(morphy.DefaultConfig())
-	case "REACT":
-		return core.New(core.DefaultConfig())
-	case "Capybara":
-		return capybara.New(capybara.DefaultConfig())
-	case "Dewdrop":
-		// Task-matched to the atomic radio transmission with the
-		// workloads' longevity margin.
-		return buffer.NewDewdrop(buffer.DewdropConfig{
-			C: 2.2e-3, VMax: 3.6, VMin: 1.8,
-			LeakI: staticLeak(2.2e-3), VRated: 6.3,
-			TaskEnergy: radio.DefaultProfile().TX.Energy(3.3) * workload.LongevityMargin,
-		})
+	b, err := scenario.NewPresetBuffer(name)
+	if err != nil {
+		panic("experiments: unknown buffer " + name)
 	}
-	panic("experiments: unknown buffer " + name)
+	return b
 }
 
-// pfInterarrival returns the mean packet interarrival time for the PF
-// benchmark: denser for the short RF traces, sparser for the long solar
-// walks, keeping total arrivals in the same range the paper reports.
-func pfInterarrival(tr *trace.Trace) float64 {
-	if tr.Duration() <= 1000 {
-		return 6
-	}
-	return 12
-}
-
-// traceSeed derives a deterministic event seed from a trace name so PF
-// arrival schedules are repeatable per trace but uncorrelated across
-// traces.
-func traceSeed(name string, seed uint64) uint64 {
-	h := seed*0x100000001b3 + 14695981039346656037
-	for _, c := range name {
-		h ^= uint64(c)
-		h *= 0x100000001b3
-	}
-	return h
-}
-
-// DEActiveI is the device current while running the DE benchmark. Software
-// AES on a low-clocked MSP430-class core draws well under the generic
-// active figure; ≈2 mW at 3.3 V keeps the benchmark's consumption below the
-// traces' burst power, which is the regime the paper's Table 2 reflects
-// (small buffers clip during bursts, large ones capture them).
-const DEActiveI = 0.6e-3
-
-// NewWorkload constructs a fresh workload for a benchmark over a trace.
+// NewWorkload constructs a fresh workload for a benchmark over a trace. It
+// panics on an unknown benchmark name — the set is fixed.
 func NewWorkload(bench string, tr *trace.Trace, seed uint64) mcu.Workload {
-	prof := mcu.DefaultProfile()
-	switch bench {
-	case "DE":
-		return workload.NewDataEncryption(DEActiveI)
-	case "SC":
-		return workload.NewSenseCompute(prof.SleepI)
-	case "RT":
-		return workload.NewRadioTransmit(prof.SleepI)
-	case "PF":
-		arrivals := radio.Arrivals(traceSeed(tr.Name, seed), tr.Duration()+120, pfInterarrival(tr))
-		return workload.NewPacketForward(prof.SleepI, arrivals)
+	wl, err := scenario.WorkloadSpec{Bench: bench}.Build(tr, seed, mcu.DefaultProfile())
+	if err != nil {
+		panic("experiments: unknown benchmark " + bench)
 	}
-	panic("experiments: unknown benchmark " + bench)
+	return wl
 }
 
 // Options tunes a run; the zero value uses the evaluation defaults.
@@ -132,18 +75,22 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
+// scenarioOptions maps run options onto the scenario layer's.
+func (o Options) scenarioOptions() scenario.RunOptions {
+	return scenario.RunOptions{Seed: o.seed(), DT: o.DT, RecordDT: o.RecordDT}
+}
+
 // RunCell simulates one (trace × buffer × benchmark) cell of the
-// evaluation grid.
+// evaluation grid through the scenario layer, with the trace supplied
+// directly (the grid shares one materialized trace across its cells).
 func RunCell(tr *trace.Trace, bufName, bench string, opt Options) (sim.Result, error) {
-	buf := NewBuffer(bufName)
-	dev := mcu.NewDevice(mcu.DefaultProfile(), NewWorkload(bench, tr, opt.seed()))
-	return sim.Run(sim.Config{
-		DT:       opt.DT,
-		Frontend: harvest.NewFrontend(tr, nil),
-		Buffer:   buf,
-		Device:   dev,
-		RecordDT: opt.RecordDT,
-	})
+	sp := scenario.Spec{
+		Name:     "adhoc-cell",
+		Trace:    scenario.TraceSpec{Loaded: tr},
+		Workload: scenario.WorkloadSpec{Bench: bench},
+		Buffers:  scenario.Presets(bufName),
+	}
+	return sp.Cell(0, opt.scenarioOptions())
 }
 
 // Grid is the dense evaluation-grid result store (benchmark × trace ×
@@ -157,12 +104,23 @@ func RunGrid(opt Options) (*Grid, error) {
 }
 
 // RunGridOn is RunGrid with an explicit context and runner, for callers
-// that need cancellation, a bounded pool, or progress reporting.
+// that need cancellation, a bounded pool, or progress reporting. The grid
+// cells are the registered paper scenarios: each (benchmark × trace) pair
+// resolves through the scenario registry, so the paper's evaluation and
+// the extended catalogue run through one definition of each cell.
 func RunGridOn(ctx context.Context, r *runner.Runner, opt Options) (*Grid, error) {
 	traces := trace.Evaluation(opt.seed())
 	return runner.RunGrid(ctx, r, BenchmarkNames, traces, BufferNames,
 		func(ctx context.Context, bench string, tr *trace.Trace, buf string) (sim.Result, error) {
-			return RunCell(tr, buf, bench, opt)
+			sp, ok := scenario.Lookup(scenario.PaperName(bench, tr.Name))
+			if !ok {
+				return sim.Result{}, fmt.Errorf("paper scenario %q not registered", scenario.PaperName(bench, tr.Name))
+			}
+			// The grid shares each materialized trace across its 20 cells;
+			// feed it to the spec (Lookup returns a clone) instead of
+			// re-running the synthetic generator once per cell.
+			sp.Trace = scenario.TraceSpec{Loaded: tr}
+			return sp.CellNamed(buf, opt.scenarioOptions())
 		})
 }
 

@@ -98,7 +98,7 @@ func TestFuzzAccountingConsistency(t *testing.T) {
 			t.Fatal(err)
 		}
 		handled := p.Metrics["rx"] + p.Metrics["missed"]
-		arrivals := r.Duration / pfInterarrival(tr) * 3 // generous Poisson bound
+		arrivals := r.Duration / 6 * 3 // generous Poisson bound (short traces use a 6 s mean)
 		if handled > arrivals {
 			t.Errorf("seed %d PF: handled %g packets from ~%g arrivals", seed, handled, arrivals)
 		}

@@ -5,6 +5,7 @@
 package harvest
 
 import (
+	"fmt"
 	"math"
 
 	"react/internal/trace"
@@ -107,6 +108,23 @@ func (s *SolarBoost) Deliver(pSource, vBuf float64) float64 {
 		return 0
 	}
 	return out
+}
+
+// ByName returns the named converter model, so declarative scenario specs
+// can select the conversion stage without constructing it in code. The
+// empty string and "identity" both mean pass-through replay (the paper's
+// frontend); "rf-rectifier" and "solar-boost" select the datasheet-shaped
+// defaults.
+func ByName(name string) (Converter, error) {
+	switch name {
+	case "", "identity":
+		return Identity{}, nil
+	case "rf-rectifier":
+		return DefaultRF(), nil
+	case "solar-boost":
+		return DefaultSolar(), nil
+	}
+	return nil, fmt.Errorf(`harvest: unknown converter %q (want "identity", "rf-rectifier", or "solar-boost")`, name)
 }
 
 // Frontend replays a power trace through a converter — the software

@@ -116,3 +116,23 @@ func TestFrontendAlignedFastPath(t *testing.T) {
 		t.Error("past-the-end sample must deliver 0")
 	}
 }
+
+func TestConverterByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "identity",
+		"identity":     "identity",
+		"rf-rectifier": "rf-rectifier",
+		"solar-boost":  "solar-boost",
+	} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != want {
+			t.Errorf("ByName(%q) = %q, want %q", name, c.Name(), want)
+		}
+	}
+	if _, err := ByName("flux-capacitor"); err == nil {
+		t.Error("unknown converter must error")
+	}
+}

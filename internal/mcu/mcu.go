@@ -8,7 +8,11 @@
 // gained or lost so atomic operations can fail realistically.
 package mcu
 
-import "react/internal/buffer"
+import (
+	"fmt"
+
+	"react/internal/buffer"
+)
 
 // Profile is the electrical envelope of the device.
 type Profile struct {
@@ -30,6 +34,31 @@ func DefaultProfile() Profile {
 		ActiveI:   1.5e-3,
 		SleepI:    4e-6,
 	}
+}
+
+// DegradedProfile models an aged deployment of the same platform: sleep
+// current tripled by electromigration and regulator drift, and a doubled
+// boot time from slower flash — the device the degraded-hardware scenarios
+// pair with worn-out buffer capacitors.
+func DegradedProfile() Profile {
+	p := DefaultProfile()
+	p.SleepI = 12e-6
+	p.BootTime = 10e-3
+	return p
+}
+
+// NamedProfile returns a device profile by name, so declarative scenario
+// specs can pick the platform without constructing it in code. The empty
+// string and "default" are the paper's testbed; "degraded" is the aged
+// variant.
+func NamedProfile(name string) (Profile, error) {
+	switch name {
+	case "", "default":
+		return DefaultProfile(), nil
+	case "degraded":
+		return DegradedProfile(), nil
+	}
+	return Profile{}, fmt.Errorf(`mcu: unknown device profile %q (want "default" or "degraded")`, name)
 }
 
 // State is the device power state.

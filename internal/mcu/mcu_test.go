@@ -176,3 +176,23 @@ func TestDeviceHonoursEnableHint(t *testing.T) {
 		t.Error("without a hint the platform default applies")
 	}
 }
+
+func TestNamedProfile(t *testing.T) {
+	def, err := NamedProfile("")
+	if err != nil || def != DefaultProfile() {
+		t.Errorf("empty name must be the default profile (err %v)", err)
+	}
+	deg, err := NamedProfile("degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.SleepI <= def.SleepI || deg.BootTime <= def.BootTime {
+		t.Errorf("degraded profile must sleep hungrier and boot slower: %+v", deg)
+	}
+	if deg.VEnable != def.VEnable || deg.VBrownout != def.VBrownout {
+		t.Error("degradation must not move the power-gate envelope")
+	}
+	if _, err := NamedProfile("overclocked"); err == nil {
+		t.Error("unknown profile must error")
+	}
+}

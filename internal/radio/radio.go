@@ -50,7 +50,15 @@ type Packet struct {
 // with the given mean interarrival time. The schedule is deterministic for
 // a seed, which keeps the Packet Forwarding experiment repeatable the way
 // the paper's secondary event-delivery MSP430 does.
+//
+// A non-positive mean interarrival time yields an empty schedule: a zero
+// mean would place infinitely many packets at t=0 (the exponential
+// interarrival degenerates to zero forever), so "no traffic" is the only
+// finite reading. Storm scenarios want a small positive mean instead.
 func Arrivals(seed uint64, duration, meanInterarrival float64) []Packet {
+	if meanInterarrival <= 0 || duration <= 0 {
+		return nil
+	}
 	r := rng.New(seed)
 	var ps []Packet
 	t := r.Exp(meanInterarrival)

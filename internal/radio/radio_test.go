@@ -76,3 +76,17 @@ func TestQueueFIFOAndOverflow(t *testing.T) {
 		t.Error("length after drain")
 	}
 }
+
+func TestArrivalsDegenerateInputs(t *testing.T) {
+	// A zero (or negative) mean interarrival would degenerate to infinitely
+	// many packets at t=0; the only finite schedule is an empty one.
+	if ps := Arrivals(1, 300, 0); ps != nil {
+		t.Errorf("zero interarrival produced %d packets, want none", len(ps))
+	}
+	if ps := Arrivals(1, 300, -5); ps != nil {
+		t.Errorf("negative interarrival produced %d packets, want none", len(ps))
+	}
+	if ps := Arrivals(1, 0, 6); ps != nil {
+		t.Errorf("zero duration produced %d packets, want none", len(ps))
+	}
+}

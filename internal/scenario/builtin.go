@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// paperTraces maps the paper grid's generator names to the trace names
+// they produce, in Table 3 order. The pairing is asserted by tests.
+var paperTraces = []struct{ Gen, TraceName string }{
+	{"rf-cart", "RF Cart"},
+	{"rf-obstructed", "RF Obstructed"},
+	{"rf-mobile", "RF Mobile"},
+	{"solar-campus", "Solar Campus"},
+	{"solar-commute", "Solar Commute"},
+}
+
+// PaperName returns the registry name of one paper-grid scenario: the
+// benchmark run on the named evaluation trace ("DE" on "RF Cart" is
+// "paper-de-rf-cart").
+func PaperName(bench, traceName string) string {
+	slug := strings.ToLower(strings.ReplaceAll(traceName, " ", "-"))
+	return "paper-" + strings.ToLower(bench) + "-" + slug
+}
+
+func init() {
+	// The extended catalogue: stress scenarios beyond the paper's §4.2
+	// grid, drawn from the related work the repository tracks (memory-aware
+	// ML partitioning, energy-attack mitigation, multi-day persistence).
+	mustRegister(&Spec{
+		Name:     "ml-inference",
+		Title:    "partitioned on-device ML inference with FRAM checkpoints on pedestrian solar",
+		Long:     true,
+		Trace:    TraceSpec{Gen: "pedestrian", Duration: 1200},
+		Workload: WorkloadSpec{Bench: "ML"},
+		Buffers:  Presets("770 µF", "10 mF", "Morphy", "REACT"),
+	})
+	mustRegister(&Spec{
+		Name:     "energy-attack",
+		Title:    "adversarial harvest that droops right before each atomic transmission",
+		Trace:    TraceSpec{Gen: "energy-attack"},
+		Workload: WorkloadSpec{Bench: "RT"},
+		Buffers:  Presets("770 µF", "10 mF", "Dewdrop", "REACT"),
+	})
+	mustRegister(&Spec{
+		Name:     "cold-start",
+		Title:    "from-dark deployment: 90 s of darkness, then a slow ramp (first-boot latency)",
+		Trace:    TraceSpec{Gen: "cold-start"},
+		Workload: WorkloadSpec{Bench: "DE"},
+		Buffers:  Presets(PresetBuffers...),
+	})
+	mustRegister(&Spec{
+		Name:  "night-heavy-solar",
+		Title: "a day dominated by its night: sensing across a 20-minute dark gap",
+		Trace: TraceSpec{Gen: "night-heavy-solar"},
+		// The 40-minute trace at a 5 ms step keeps the scenario in the
+		// fast tier without changing its day/night structure.
+		DT:       5e-3,
+		Workload: WorkloadSpec{Bench: "SC"},
+		Buffers:  Presets("770 µF", "17 mF", "Morphy", "REACT"),
+	})
+	mustRegister(&Spec{
+		Name:     "dense-packet-storm",
+		Title:    "packet forwarding under a 1.5 s mean interarrival storm on RF Cart",
+		Trace:    TraceSpec{Gen: "rf-cart"},
+		Workload: WorkloadSpec{Bench: "PF", Interarrival: 1.5},
+		Buffers:  Presets("770 µF", "10 mF", "Morphy", "REACT", "Capybara"),
+	})
+	mustRegister(&Spec{
+		Name:  "long-haul-72h",
+		Title: "three days of diurnal solar: persistence, leakage and night survival",
+		Long:  true,
+		Trace: TraceSpec{Gen: "solar-72h"},
+		// A 0.2 s step keeps 72 h tractable; the workload has no
+		// sub-second structure.
+		DT:       0.2,
+		Workload: WorkloadSpec{Bench: "DE"},
+		Buffers:  Presets("17 mF", "Morphy", "REACT", "Capybara"),
+	})
+	mustRegister(&Spec{
+		Name:     "tiny-cap-degraded",
+		Title:    "aged hardware: a leaky 330 µF capacitor and a degraded MCU on weak RF",
+		Trace:    TraceSpec{Gen: "rf-obstructed"},
+		Device:   DeviceSpec{Profile: "degraded"},
+		Workload: WorkloadSpec{Bench: "SC"},
+		Buffers: append([]BufferSpec{{
+			Label:  "330 µF aged",
+			Static: &StaticSpec{C: 330e-6, LeakI: 5e-6},
+		}}, Presets("770 µF", "REACT")...),
+	})
+	mustRegister(&Spec{
+		Name:     "mixed-duty",
+		Title:    "2 s sensing cadence feeding atomic batch transmissions on campus solar",
+		Long:     true,
+		Trace:    TraceSpec{Gen: "solar-campus", Duration: 1500},
+		Workload: WorkloadSpec{Bench: "MIX"},
+		Buffers:  Presets("770 µF", "10 mF", "Morphy", "REACT"),
+	})
+
+	// The paper grid: every §4.2 benchmark × Table 3 trace cell, each over
+	// the five evaluated buffers. internal/experiments consumes these specs
+	// to assemble its tables and figures, so the paper's evaluation is just
+	// another set of registered scenarios.
+	for _, bench := range PaperBenchmarks {
+		for _, pt := range paperTraces {
+			long := strings.HasPrefix(pt.Gen, "solar-")
+			mustRegister(&Spec{
+				Name:     PaperName(bench, pt.TraceName),
+				Title:    fmt.Sprintf("paper grid: %s on %s", bench, pt.TraceName),
+				Paper:    true,
+				Long:     long,
+				Trace:    TraceSpec{Gen: pt.Gen},
+				Workload: WorkloadSpec{Bench: bench},
+				Buffers:  Presets(PaperBuffers...),
+			})
+		}
+	}
+}

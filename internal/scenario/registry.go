@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The process-wide scenario registry. Builtin scenarios (the extended
+// catalogue plus the paper grid) register during init; programs may add
+// their own with Register. Lookups hand out clones, so callers can tweak a
+// spec without corrupting the registry.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+	regOrder []string
+)
+
+// Register validates the spec and adds it to the registry. Registering a
+// duplicate name is an error.
+func Register(s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry[s.Name] = s.Clone()
+	regOrder = append(regOrder, s.Name)
+	return nil
+}
+
+// mustRegister is Register for the builtin catalogue, where a failure is a
+// programming error.
+func mustRegister(s *Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns a clone of the named scenario.
+func Lookup(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// Names returns every registered scenario name in registration order (the
+// extended catalogue first, then the paper grid).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// All returns clones of every registered scenario in registration order.
+func All() []*Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	specs := make([]*Spec, 0, len(regOrder))
+	for _, name := range regOrder {
+		specs = append(specs, registry[name].Clone())
+	}
+	return specs
+}
+
+// Extended returns the registered non-paper scenarios in registration
+// order — the catalogue beyond the paper's evaluation grid.
+func Extended() []*Spec {
+	var out []*Spec
+	for _, s := range All() {
+		if !s.Paper {
+			out = append(out, s)
+		}
+	}
+	return out
+}

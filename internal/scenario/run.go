@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"react/internal/harvest"
+	"react/internal/mcu"
+	"react/internal/runner"
+	"react/internal/sim"
+)
+
+// RunOptions tunes one scenario run; the zero value uses the spec's
+// defaults.
+type RunOptions struct {
+	// Seed overrides the spec's trace/event seed (0 keeps the spec's,
+	// which itself defaults to 1).
+	Seed uint64
+	// Workers bounds the per-buffer worker pool when Run builds its own
+	// runner (0 = GOMAXPROCS).
+	Workers int
+	// DT overrides the integration timestep.
+	DT float64
+	// RecordDT, when positive, records voltage/state series.
+	RecordDT float64
+}
+
+// seed resolves the effective seed for a spec.
+func (o RunOptions) seed(s *Spec) uint64 {
+	switch {
+	case o.Seed != 0:
+		return o.Seed
+	case s.Seed != 0:
+		return s.Seed
+	default:
+		return 1
+	}
+}
+
+// Run is a completed scenario: one sim.Result per buffer, index-parallel
+// to Spec.Buffers.
+type Run struct {
+	Spec    *Spec
+	Seed    uint64
+	Results []sim.Result
+}
+
+// Result returns the run's result for a buffer display name.
+func (r *Run) Result(buffer string) (sim.Result, bool) {
+	for i, bs := range r.Spec.Buffers {
+		if bs.DisplayName() == buffer {
+			return r.Results[i], true
+		}
+	}
+	return sim.Result{}, false
+}
+
+// Cell materializes and simulates buffer i of the spec — the unit the
+// engine schedules. Every call builds fresh state (trace, workload,
+// buffer, device), so concurrent cells share nothing.
+func (s *Spec) Cell(i int, opt RunOptions) (sim.Result, error) {
+	if i < 0 || i >= len(s.Buffers) {
+		return sim.Result{}, fmt.Errorf("scenario %s: buffer index %d out of range", s.Name, i)
+	}
+	seed := opt.seed(s)
+	tr, err := s.Trace.Build(seed)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	conv, err := harvest.ByName(s.Converter)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	prof, err := s.Device.Build()
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	wl, err := s.Workload.Build(tr, seed, prof)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	buf, err := s.Buffers[i].Build()
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	dt := opt.DT
+	if dt == 0 {
+		dt = s.DT
+	}
+	return sim.Run(sim.Config{
+		DT:       dt,
+		Frontend: harvest.NewFrontend(tr, conv),
+		Buffer:   buf,
+		Device:   mcu.NewDevice(prof, wl),
+		TailCap:  s.TailCap,
+		RecordDT: opt.RecordDT,
+	})
+}
+
+// CellNamed runs the buffer with the given display name.
+func (s *Spec) CellNamed(buffer string, opt RunOptions) (sim.Result, error) {
+	for i, bs := range s.Buffers {
+		if bs.DisplayName() == buffer {
+			return s.Cell(i, opt)
+		}
+	}
+	return sim.Result{}, fmt.Errorf("scenario %s: no buffer %q", s.Name, buffer)
+}
+
+// Run simulates every buffer of the spec over r's worker pool (nil r uses
+// a pool bounded by opt.Workers, or GOMAXPROCS). Results are deterministic
+// for any worker count.
+func (s *Spec) Run(ctx context.Context, r *runner.Runner, opt RunOptions) (*Run, error) {
+	if r == nil && opt.Workers > 0 {
+		r = &runner.Runner{Workers: opt.Workers}
+	}
+	idx := make([]int, len(s.Buffers))
+	for i := range idx {
+		idx[i] = i
+	}
+	results, err := runner.Sweep(ctx, r, idx, func(_ context.Context, i int) (sim.Result, error) {
+		res, err := s.Cell(i, opt)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("%s: %w", s.Buffers[i].DisplayName(), err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Spec: s, Seed: opt.seed(s), Results: results}, nil
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// generators maps canonical kebab-case names to the deterministic trace
+// generators, so declarative scenario specs (and the CLI) can request a
+// trace by name. The generated Trace carries its own presentation name
+// ("rf-cart" builds the trace named "RF Cart").
+var generators = map[string]func(uint64) *Trace{
+	"rf-cart":           RFCart,
+	"rf-obstructed":     RFObstructed,
+	"rf-mobile":         RFMobile,
+	"solar-campus":      SolarCampus,
+	"solar-commute":     SolarCommute,
+	"pedestrian":        Fig1Pedestrian,
+	"night":             Night,
+	"energy-attack":     EnergyAttack,
+	"cold-start":        ColdStart,
+	"night-heavy-solar": NightHeavySolar,
+	"solar-72h":         Solar72h,
+}
+
+// GeneratorNames returns every registered generator name, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(generators))
+	for n := range generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KnownGenerator reports whether ByName can build the named trace.
+func KnownGenerator(name string) bool {
+	_, ok := generators[name]
+	return ok
+}
+
+// ByName builds the named synthetic trace for a seed. Every call returns a
+// fresh Trace, so callers may mutate (Scale, Clip) without aliasing.
+func ByName(name string, seed uint64) (*Trace, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown generator %q (want one of %v)", name, GeneratorNames())
+	}
+	return gen(seed), nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByNameCoversAllGenerators(t *testing.T) {
+	for _, name := range GeneratorNames() {
+		if !KnownGenerator(name) {
+			t.Fatalf("GeneratorNames lists unknown generator %q", name)
+		}
+		tr, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if tr.Name == "" || tr.DT <= 0 || len(tr.Power) == 0 {
+			t.Errorf("ByName(%q) built a malformed trace: %+v", name, tr.Stats())
+		}
+		for i, p := range tr.Power {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("%s: bad power %g at sample %d", name, p, i)
+			}
+		}
+	}
+	if _, err := ByName("no-such-trace", 1); err == nil {
+		t.Error("unknown generator must error")
+	}
+}
+
+func TestByNameDeterministicAndFresh(t *testing.T) {
+	a, _ := ByName("energy-attack", 7)
+	b, _ := ByName("energy-attack", 7)
+	if a == b {
+		t.Fatal("ByName must return a fresh trace per call")
+	}
+	for i := range a.Power {
+		if a.Power[i] != b.Power[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+	c, _ := ByName("energy-attack", 8)
+	same := true
+	for i := range a.Power {
+		if a.Power[i] != c.Power[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestEnergyAttackDroops(t *testing.T) {
+	tr := EnergyAttack(1)
+	// The attacker must repeatedly cut power: a meaningful fraction of the
+	// trace is spent in the near-dark droop windows, yet the mean while
+	// feeding stays high enough to tempt an accumulate-then-act policy.
+	dark := tr.TimeFractionBelow(10e-6)
+	if dark < 0.15 || dark > 0.8 {
+		t.Errorf("droop windows cover %.0f%% of the trace, want 15-80%%", dark*100)
+	}
+	if s := tr.Stats(); s.Mean < 0.5e-3 {
+		t.Errorf("feeding power too weak to bait the victim: mean %.3g mW", s.Mean*1e3)
+	}
+}
+
+func TestColdStartShape(t *testing.T) {
+	tr := ColdStart(1)
+	for i := 0; i < 90; i++ {
+		if tr.Power[i] != 0 {
+			t.Fatalf("cold start must be dark for 90 s, sample %d is %g", i, tr.Power[i])
+		}
+	}
+	var head, tail float64
+	for i := 90; i < 150; i++ {
+		head += tr.Power[i]
+	}
+	for i := len(tr.Power) - 60; i < len(tr.Power); i++ {
+		tail += tr.Power[i]
+	}
+	if tail <= head {
+		t.Errorf("power must ramp up: first lit minute %g J, last minute %g J", head, tail)
+	}
+}
+
+func TestNightHeavySolarHasDarkMiddle(t *testing.T) {
+	tr := NightHeavySolar(1)
+	if d := tr.Duration(); d != 2400 {
+		t.Fatalf("duration %g, want 2400", d)
+	}
+	var day, night float64
+	for i := 0; i < 600; i++ {
+		day += tr.Power[i]
+	}
+	for i := 600; i < 1800; i++ {
+		night += tr.Power[i]
+	}
+	if night >= day/10 {
+		t.Errorf("night energy %g J should be tiny next to day energy %g J", night, day)
+	}
+}
+
+func TestSolar72hDiurnal(t *testing.T) {
+	tr := Solar72h(1)
+	if d := tr.Duration(); d != 3*86400 {
+		t.Fatalf("duration %g, want 72 h", d)
+	}
+	// Midnight is dark, noon is lit, on every one of the three days.
+	for day := 0; day < 3; day++ {
+		base := day * 86400
+		if p := tr.Power[base]; p != 0 {
+			t.Errorf("day %d midnight power %g, want 0", day, p)
+		}
+		if p := tr.Power[base+12*3600]; p <= 0 {
+			t.Errorf("day %d noon power %g, want > 0", day, p)
+		}
+	}
+}
+
+func TestSteady(t *testing.T) {
+	tr := Steady("steady", 10e-3, 300)
+	s := tr.Stats()
+	if s.Duration != 300 || math.Abs(s.Mean-10e-3) > 1e-12 || s.CV > 1e-6 {
+		t.Errorf("steady trace stats wrong: %+v", s)
+	}
+}
+
+func TestClip(t *testing.T) {
+	tr := &Trace{Name: "x", DT: 1, Power: []float64{1, 2, 3, 4, 5}}
+	tr.Clip(3)
+	if len(tr.Power) != 3 {
+		t.Fatalf("clip to 3 s left %d samples", len(tr.Power))
+	}
+	tr.Clip(100) // beyond the end: no-op
+	if len(tr.Power) != 3 {
+		t.Fatalf("over-length clip changed the trace: %d samples", len(tr.Power))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := &Trace{DT: 1, Power: []float64{1, 2}}
+	b := &Trace{DT: 1, Power: []float64{3}}
+	c := Concat("joined", a, b)
+	if c.Name != "joined" || len(c.Power) != 3 || c.Power[2] != 3 {
+		t.Errorf("concat wrong: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched DT must panic")
+		}
+	}()
+	Concat("bad", a, &Trace{DT: 2, Power: []float64{1}})
+}

@@ -142,3 +142,125 @@ func Evaluation(seed uint64) []*Trace {
 		SolarCommute(seed),
 	}
 }
+
+// The generators below go beyond the paper's Table 3: stress traces for the
+// scenario registry (internal/scenario), modelled on the conditions the
+// related work studies — adversarial energy attacks, cold starts, heavy
+// night gaps, and multi-day persistence.
+
+// Steady returns a constant-power trace at 1 s spacing — the bring-up and
+// overhead-characterization input.
+func Steady(name string, mean, duration float64) *Trace {
+	n := int(duration)
+	if n < 1 {
+		n = 1
+	}
+	t := &Trace{Name: name, DT: 1, Power: make([]float64, n)}
+	for i := range t.Power {
+		t.Power[i] = mean
+	}
+	return t
+}
+
+// EnergyAttack synthesizes the adversarial trace studied by the
+// energy-attack literature (Singhal et al., "Application-aware Energy
+// Attack Mitigation"): the attacker supplies comfortable charging power but
+// droops it the moment the victim has accumulated roughly the energy of its
+// atomic operation, so a naive accumulate-then-act policy browns out just
+// before acting — over and over.
+func EnergyAttack(seed uint64) *Trace {
+	const (
+		n        = 420    // seconds
+		pSupply  = 1.6e-3 // feeding power, watts
+		eTrigger = 12e-3  // joules delivered before each cut (≈ TX cost × margin, plus conversion slack)
+		gap      = 8      // droop length, seconds
+		sigma    = 0.18   // in-state fading
+	)
+	r := rng.New(seed ^ 0xa77ac)
+	t := &Trace{Name: "Energy Attack", DT: 1, Power: make([]float64, n)}
+	acc, drop := 0.0, 0
+	for i := range t.Power {
+		fade := math.Exp(sigma*r.Norm() - sigma*sigma/2)
+		if drop > 0 {
+			drop--
+			t.Power[i] = 2e-6 * fade // not truly dark: the victim sees a trickle
+			continue
+		}
+		p := pSupply * fade
+		t.Power[i] = p
+		acc += p // 1 s per sample
+		if acc >= eTrigger {
+			acc = 0
+			drop = gap + r.Intn(4) // jitter so cuts don't alias with deadlines
+		}
+	}
+	return t
+}
+
+// ColdStart synthesizes a from-dark deployment: true darkness, then a slow
+// ramp as the source comes up, then steady weak input — the first-boot
+// latency scenario.
+func ColdStart(seed uint64) *Trace {
+	const (
+		n     = 420
+		dark  = 90  // seconds of zero input
+		ramp  = 120 // seconds to full power
+		pFull = 1.4e-3
+		sigma = 0.25
+	)
+	r := rng.New(seed ^ 0xc01d)
+	t := &Trace{Name: "Cold Start", DT: 1, Power: make([]float64, n)}
+	for i := range t.Power {
+		fade := math.Exp(sigma*r.Norm() - sigma*sigma/2)
+		if i < dark {
+			t.Power[i] = 0
+			continue
+		}
+		frac := float64(i-dark) / ramp
+		if frac > 1 {
+			frac = 1
+		}
+		t.Power[i] = pFull * frac * fade
+	}
+	return t
+}
+
+// NightHeavySolar synthesizes a harvest day dominated by its night: a burst
+// of strong daylight, a long near-dark night, and a weaker second day —
+// the buffering-across-the-gap scenario.
+func NightHeavySolar(seed uint64) *Trace {
+	day1 := markovBurst("", seed^0x417e1, 600, 6e-3, 0.3e-3, 22e-3, 120, 45, 0.35)
+	night := arLogNormal("", seed^0x417e2, 1200, 0.02e-3, 0.2, 0.98, 1)
+	day2 := markovBurst("", seed^0x417e3, 600, 4e-3, 0.3e-3, 18e-3, 140, 40, 0.35)
+	return Concat("Night-Heavy Solar", day1, night, day2)
+}
+
+// Solar72h synthesizes a three-day outdoor solar recording at 1 s
+// resolution: a clear diurnal irradiance envelope with slow cloud fading
+// and pitch-dark nights — the long-haul persistence scenario.
+func Solar72h(seed uint64) *Trace {
+	const (
+		day   = 86400 // seconds
+		n     = 3 * day
+		pPeak = 9e-3
+		rho   = 0.999 // slow cloud process
+		sigma = 0.5
+	)
+	r := rng.New(seed ^ 0x72a)
+	t := &Trace{Name: "Solar 72h", DT: 1, Power: make([]float64, n)}
+	x := r.Norm()
+	innov := math.Sqrt(1 - rho*rho)
+	for i := range t.Power {
+		x = rho*x + innov*r.Norm()
+		tod := float64(i % day)
+		// Sun above the horizon from 06:00 to 18:00.
+		elev := math.Sin(math.Pi * (tod - 6*3600) / (12 * 3600))
+		if elev <= 0 {
+			t.Power[i] = 0
+			continue
+		}
+		cloud := math.Exp(sigma*x - sigma*sigma/2)
+		t.Power[i] = pPeak * math.Pow(elev, 1.5) * cloud
+	}
+	return t
+}

@@ -135,6 +135,34 @@ func (t *Trace) TimeFractionBelow(threshold float64) float64 {
 	return float64(n) / float64(len(t.Power))
 }
 
+// Clip truncates the trace in place to at most the given length in seconds.
+// Clipping to a length at or beyond the trace duration is a no-op.
+func (t *Trace) Clip(seconds float64) {
+	if t.DT <= 0 || seconds < 0 {
+		return
+	}
+	n := int(seconds / t.DT)
+	if n < len(t.Power) {
+		t.Power = t.Power[:n]
+	}
+}
+
+// Concat joins traces end to end under a new name. All parts must share the
+// same sample spacing; a mismatch is a construction bug and panics.
+func Concat(name string, parts ...*Trace) *Trace {
+	if len(parts) == 0 {
+		return &Trace{Name: name, DT: 1}
+	}
+	out := &Trace{Name: name, DT: parts[0].DT}
+	for _, p := range parts {
+		if p.DT != out.DT {
+			panic("trace: Concat over mismatched sample spacings")
+		}
+		out.Power = append(out.Power, p.Power...)
+	}
+	return out
+}
+
 // Scale multiplies every sample so the trace mean becomes mean watts.
 func (t *Trace) Scale(mean float64) {
 	s := t.Stats()

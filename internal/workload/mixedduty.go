@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"react/internal/mcu"
+	"react/internal/radio"
+)
+
+// MixedDuty is the MIX benchmark the scenario registry adds beyond the
+// paper's four: periodic cheap sensing (reactivity-bound, like SC) feeding
+// a non-volatile sample store that is flushed over the radio in atomic
+// batches (persistence-bound, like RT). It exercises both demands in one
+// program — the regime where a buffer must stay small enough to catch
+// deadlines yet grow large enough to afford transmissions.
+type MixedDuty struct {
+	Radio  radio.Profile
+	SleepI float64
+
+	Period    float64 // sensing deadline spacing, seconds
+	BurstTime float64 // sensing burst length
+	BurstI    float64 // current during a sensing burst
+	// BatchN is how many samples accumulate (in FRAM, surviving outages)
+	// before the workload transmits the batch as one atomic operation.
+	BatchN int
+
+	next      float64
+	inBurst   bool
+	burstLeft float64
+	inTX      bool
+	txLeft    float64
+	pending   int // samples waiting to be flushed (non-volatile)
+
+	samples  float64
+	missed   float64
+	failedRd float64 // sensing bursts cut by power loss
+	tx       float64
+	failedTX float64
+}
+
+// NewMixedDuty builds the MIX workload: a 2 s sensing cadence and
+// eight-sample transmit batches over the default radio.
+func NewMixedDuty(sleepI float64) *MixedDuty {
+	return &MixedDuty{
+		Radio:     radio.DefaultProfile(),
+		SleepI:    sleepI,
+		Period:    2,
+		BurstTime: 50e-3,
+		BurstI:    2e-3,
+		BatchN:    8,
+	}
+}
+
+// Name implements mcu.Workload.
+func (w *MixedDuty) Name() string { return "MIX" }
+
+// Step implements mcu.Workload.
+func (w *MixedDuty) Step(env *mcu.Env, dt float64) float64 {
+	if w.inBurst {
+		w.burstLeft -= dt * (1 - env.OverheadFrac)
+		if w.burstLeft <= 0 {
+			w.inBurst = false
+			w.samples++
+			w.pending++
+		}
+		return w.BurstI
+	}
+	if w.inTX {
+		w.txLeft -= dt
+		if w.txLeft <= 0 {
+			w.inTX = false
+			w.tx++
+			w.pending -= w.BatchN
+			if w.pending < 0 {
+				w.pending = 0
+			}
+		}
+		return w.Radio.TX.Current
+	}
+	// Sensing deadlines preempt the pending flush: reactivity first, the
+	// same receive-or-lose priority the PF benchmark applies (§5.4.1).
+	if env.Now >= w.next {
+		for w.next <= env.Now-dt {
+			w.next += w.Period
+			w.missed++
+		}
+		w.next += w.Period
+		w.inBurst = true
+		w.burstLeft = w.BurstTime
+		return w.BurstI
+	}
+	if w.pending >= w.BatchN {
+		if !readyForAtomic(env, w.Radio.TX.Energy(env.Voltage)) {
+			return w.SleepI // charge toward the batch-flush guarantee
+		}
+		w.inTX = true
+		w.txLeft = w.Radio.TX.Duration
+		return w.Radio.TX.Current
+	}
+	return w.SleepI
+}
+
+// PowerOn implements mcu.Workload: deadlines that expired while off are
+// missed; the pending-sample count was restored from FRAM.
+func (w *MixedDuty) PowerOn(now float64) {
+	for w.next <= now {
+		w.next += w.Period
+		w.missed++
+	}
+}
+
+// PowerLost implements mcu.Workload: an interrupted burst yields no sample
+// and an interrupted batch transmission is wasted energy; the pending
+// samples themselves survive in FRAM and will be retried.
+func (w *MixedDuty) PowerLost(now float64) {
+	if w.inBurst {
+		w.inBurst = false
+		w.failedRd++
+	}
+	if w.inTX {
+		w.inTX = false
+		w.failedTX++
+	}
+}
+
+// Metrics implements mcu.Workload.
+func (w *MixedDuty) Metrics() map[string]float64 {
+	return map[string]float64{
+		"samples":   w.samples,
+		"missed":    w.missed,
+		"failed":    w.failedRd,
+		"tx":        w.tx,
+		"tx_failed": w.failedTX,
+		"backlog":   float64(w.pending),
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"react/internal/mcu"
+)
+
+// MLInference is the ML benchmark the scenario registry adds beyond the
+// paper's four: on-device neural inference partitioned into segments with a
+// non-volatile checkpoint after each, the memory-aware-partitioning
+// structure of Gomez et al. ("Memory-Aware Partitioning of Machine Learning
+// Applications for Optimal Energy Use in Batteryless Systems").
+//
+// Each segment is an atomic burst of compute followed by an FRAM checkpoint
+// write; losing power mid-segment wastes only that segment, because the
+// previous checkpoint persists. On buffers exposing capacitance levels the
+// workload waits in deep sleep until one segment (compute + checkpoint) is
+// guaranteed, mirroring the §3.4.1 longevity discipline.
+type MLInference struct {
+	SleepI   float64 // deep-sleep current between segments
+	InferI   float64 // current during a compute segment
+	SegTime  float64 // active seconds per segment
+	CkptI    float64 // current during the FRAM checkpoint write
+	CkptTime float64 // checkpoint write time, seconds
+	// Segments is the partition count per full inference; progress across
+	// segment boundaries survives power loss.
+	Segments int
+
+	seg      int // checkpointed segments of the current inference (non-volatile)
+	inSeg    bool
+	segLeft  float64
+	inCkpt   bool
+	ckptLeft float64
+
+	inferences float64
+	ckpts      float64
+	lostSegs   float64
+}
+
+// NewMLInference builds the ML workload with representative costs: four
+// ~2 mJ segments per inference (a small quantized CNN on an MSP430-class
+// core) and a 0.1 s FRAM checkpoint burst after each.
+func NewMLInference(sleepI float64) *MLInference {
+	return &MLInference{
+		SleepI:   sleepI,
+		InferI:   2.5e-3,
+		SegTime:  0.8,
+		CkptI:    3e-3,
+		CkptTime: 0.1,
+		Segments: 4,
+	}
+}
+
+// Name implements mcu.Workload.
+func (w *MLInference) Name() string { return "ML" }
+
+// segmentEnergy is the cost of one segment plus its checkpoint at voltage v.
+func (w *MLInference) segmentEnergy(v float64) float64 {
+	return (w.SegTime*w.InferI + w.CkptTime*w.CkptI) * v
+}
+
+// Step implements mcu.Workload.
+func (w *MLInference) Step(env *mcu.Env, dt float64) float64 {
+	if w.inSeg {
+		w.segLeft -= dt * (1 - env.OverheadFrac)
+		if w.segLeft <= 0 {
+			w.inSeg = false
+			w.inCkpt = true
+			w.ckptLeft = w.CkptTime
+		}
+		return w.InferI
+	}
+	if w.inCkpt {
+		w.ckptLeft -= dt
+		if w.ckptLeft <= 0 {
+			w.inCkpt = false
+			w.ckpts++
+			w.seg++
+			if w.seg >= w.Segments {
+				w.seg = 0
+				w.inferences++
+			}
+		}
+		return w.CkptI
+	}
+	if !readyForAtomic(env, w.segmentEnergy(env.Voltage)) {
+		return w.SleepI // gather energy for the next segment
+	}
+	w.inSeg = true
+	w.segLeft = w.SegTime
+	return w.InferI
+}
+
+// PowerOn implements mcu.Workload: the checkpointed segment count was
+// restored from FRAM; nothing else to do.
+func (w *MLInference) PowerOn(now float64) {}
+
+// PowerLost implements mcu.Workload: the in-flight segment (or its
+// unfinished checkpoint) is volatile and is lost; checkpointed segments
+// survive.
+func (w *MLInference) PowerLost(now float64) {
+	if w.inSeg || w.inCkpt {
+		w.inSeg = false
+		w.inCkpt = false
+		w.lostSegs++
+	}
+}
+
+// Metrics implements mcu.Workload.
+func (w *MLInference) Metrics() map[string]float64 {
+	return map[string]float64{
+		"inferences":    w.inferences,
+		"ckpts":         w.ckpts,
+		"lost_segments": w.lostSegs,
+	}
+}

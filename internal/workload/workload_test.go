@@ -327,3 +327,117 @@ func TestSenseComputeSaturatedClockRestartsSchedule(t *testing.T) {
 		t.Errorf("schedule must restart in the future, next=%g", w.next)
 	}
 }
+
+func TestMLInferenceProgressAndCheckpointing(t *testing.T) {
+	w := NewMLInference(4e-6)
+	e := env(3.3, 17e-3) // no Leveler: segments start whenever stepped
+	dt := 1e-3
+	// One segment is SegTime of compute plus CkptTime of write; run long
+	// enough for several full inferences.
+	for i := 0; i < 20000; i++ {
+		e.Now = float64(i) * dt
+		w.Step(e, dt)
+	}
+	m := w.Metrics()
+	if m["inferences"] < 4 {
+		t.Errorf("expected several inferences on steady power, got %v", m)
+	}
+	if m["ckpts"] < m["inferences"]*float64(w.Segments) {
+		t.Errorf("every segment must checkpoint: %v", m)
+	}
+}
+
+func TestMLInferencePowerLossLosesOnlyInFlightSegment(t *testing.T) {
+	w := NewMLInference(4e-6)
+	e := env(3.3, 17e-3)
+	dt := 1e-3
+	// Complete exactly one segment (compute + checkpoint), then die
+	// mid-way through the second.
+	steps := int((w.SegTime+w.CkptTime)/dt) + 2
+	for i := 0; i < steps; i++ {
+		e.Now = float64(i) * dt
+		w.Step(e, dt)
+	}
+	if w.Metrics()["ckpts"] != 1 {
+		t.Fatalf("setup: want exactly 1 checkpoint, got %v", w.Metrics())
+	}
+	for i := 0; i < 100; i++ { // into the second segment
+		w.Step(e, dt)
+	}
+	w.PowerLost(e.Now)
+	m := w.Metrics()
+	if m["lost_segments"] != 1 {
+		t.Errorf("in-flight segment must be lost: %v", m)
+	}
+	if m["ckpts"] != 1 {
+		t.Errorf("checkpointed progress must survive power loss: %v", m)
+	}
+	if w.inSeg || w.inCkpt {
+		t.Error("power loss must clear volatile execution state")
+	}
+}
+
+func TestMLInferenceWaitsForLongevityGuarantee(t *testing.T) {
+	lv := &fakeLeveler{level: 0}
+	e := env(3.3, 770e-6)
+	e.Levels = lv
+	w := NewMLInference(4e-6)
+	if i := w.Step(e, 1e-3); i != w.SleepI {
+		t.Errorf("below the guaranteed level the workload must sleep, drew %g", i)
+	}
+	lv.level = 10
+	e.Capacitance = 17e-3
+	if i := w.Step(e, 1e-3); i != w.InferI {
+		t.Errorf("at a guaranteed level the segment must start, drew %g", i)
+	}
+}
+
+func TestMixedDutySensesThenFlushes(t *testing.T) {
+	w := NewMixedDuty(4e-6)
+	e := env(3.3, 17e-3)
+	dt := 1e-3
+	// Run past BatchN sensing periods plus slack for the flush.
+	steps := int(float64(w.BatchN+2)*w.Period/dt) + int(w.Radio.TX.Duration/dt) + 100
+	for i := 0; i < steps; i++ {
+		e.Now = float64(i) * dt
+		w.Step(e, dt)
+	}
+	m := w.Metrics()
+	if m["samples"] < float64(w.BatchN) {
+		t.Fatalf("sensing cadence broken: %v", m)
+	}
+	if m["tx"] < 1 {
+		t.Errorf("a full batch must be transmitted: %v", m)
+	}
+	if m["backlog"] >= float64(w.BatchN) {
+		t.Errorf("flush must drain the backlog below one batch: %v", m)
+	}
+}
+
+func TestMixedDutyPowerLossKeepsPendingSamples(t *testing.T) {
+	w := NewMixedDuty(4e-6)
+	e := env(3.3, 17e-3)
+	dt := 1e-3
+	// Collect a few samples, then lose power mid-burst.
+	for i := 0; i < int(2.5*w.Period/dt); i++ {
+		e.Now = float64(i) * dt
+		w.Step(e, dt)
+	}
+	pendingBefore := w.pending
+	if pendingBefore == 0 {
+		t.Fatal("setup: expected pending samples")
+	}
+	e.Now += w.Period
+	w.Step(e, dt) // start a burst
+	w.PowerLost(e.Now)
+	if w.pending != pendingBefore {
+		t.Errorf("FRAM-held samples must survive: %d != %d", w.pending, pendingBefore)
+	}
+	if w.Metrics()["failed"] != 1 {
+		t.Errorf("interrupted burst must count as failed: %v", w.Metrics())
+	}
+	w.PowerOn(e.Now + 10*w.Period)
+	if w.Metrics()["missed"] < 5 {
+		t.Errorf("deadlines during the outage must be missed: %v", w.Metrics())
+	}
+}

@@ -34,6 +34,7 @@ package react
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"react/internal/buffer"
@@ -44,6 +45,7 @@ import (
 	"react/internal/morphy"
 	"react/internal/radio"
 	"react/internal/runner"
+	"react/internal/scenario"
 	"react/internal/sim"
 	"react/internal/timekeeper"
 	"react/internal/trace"
@@ -180,6 +182,26 @@ func SolarCommute(seed uint64) *Trace    { return trace.SolarCommute(seed) }
 func PedestrianSolar(seed uint64) *Trace { return trace.Fig1Pedestrian(seed) }
 func NightTrace(seed uint64) *Trace      { return trace.Night(seed) }
 
+// Stress traces beyond the paper's Table 3 (deterministic per seed), used
+// by the scenario catalogue.
+func EnergyAttackTrace(seed uint64) *Trace    { return trace.EnergyAttack(seed) }
+func ColdStartTrace(seed uint64) *Trace       { return trace.ColdStart(seed) }
+func NightHeavySolarTrace(seed uint64) *Trace { return trace.NightHeavySolar(seed) }
+func Solar72hTrace(seed uint64) *Trace        { return trace.Solar72h(seed) }
+
+// SteadyTrace returns a constant-power trace at 1 s spacing.
+func SteadyTrace(name string, mean, duration float64) *Trace {
+	return trace.Steady(name, mean, duration)
+}
+
+// TraceByName builds any registered synthetic trace generator by its
+// canonical name ("rf-cart", "energy-attack", ...); TraceGenerators lists
+// them.
+func TraceByName(name string, seed uint64) (*Trace, error) { return trace.ByName(name, seed) }
+
+// TraceGenerators returns the canonical generator names, sorted.
+func TraceGenerators() []string { return trace.GeneratorNames() }
+
 // EvaluationTraces returns the five Table 3 traces in order.
 func EvaluationTraces(seed uint64) []*Trace { return trace.Evaluation(seed) }
 
@@ -207,6 +229,10 @@ func NewDataEncryption(activeI float64) Workload { return workload.NewDataEncryp
 func NewSenseCompute(sleepI float64) Workload    { return workload.NewSenseCompute(sleepI) }
 func NewRadioTransmit(sleepI float64) Workload   { return workload.NewRadioTransmit(sleepI) }
 
+// Extended benchmark workloads (the scenario catalogue's ML and MIX).
+func NewMLInference(sleepI float64) Workload { return workload.NewMLInference(sleepI) }
+func NewMixedDuty(sleepI float64) Workload   { return workload.NewMixedDuty(sleepI) }
+
 // NewSenseComputeWithTimekeeper builds the SC workload tracking its
 // deadlines with a remanence timekeeper instead of a perfect clock; the
 // workload reports the resulting scheduling error as "timing_err_mean".
@@ -223,6 +249,55 @@ func NewPacketForward(sleepI float64, seed uint64, duration, meanInterarrival fl
 
 // Run executes a simulation to completion.
 func Run(cfg SimConfig) (Result, error) { return sim.Run(cfg) }
+
+// Scenario-subsystem types: the declarative layer that names a trace, a
+// converter, a device profile, a workload and a buffer set, and runs the
+// combination through the experiment engine. The registry ships the
+// paper's full evaluation grid plus the extended stress catalogue
+// (energy attacks, cold starts, multi-day persistence, ML inference,
+// packet storms); `reactsim -list` prints it.
+type (
+	// Scenario is a declarative simulation scenario (spec + knobs).
+	Scenario = scenario.Spec
+	// ScenarioTrace selects a scenario's harvested-power input.
+	ScenarioTrace = scenario.TraceSpec
+	// ScenarioDevice selects a scenario's device platform.
+	ScenarioDevice = scenario.DeviceSpec
+	// ScenarioWorkload selects a scenario's benchmark program.
+	ScenarioWorkload = scenario.WorkloadSpec
+	// ScenarioBuffer selects one energy buffer of a scenario.
+	ScenarioBuffer = scenario.BufferSpec
+	// ScenarioStatic describes a custom fixed-size buffer capacitor.
+	ScenarioStatic = scenario.StaticSpec
+	// ScenarioOptions tunes one scenario run (seed, workers, timestep).
+	ScenarioOptions = scenario.RunOptions
+	// ScenarioRun is a completed scenario: one Result per buffer.
+	ScenarioRun = scenario.Run
+)
+
+// Scenarios returns every registered scenario (the extended catalogue
+// first, then the paper grid), as independent clones.
+func Scenarios() []*Scenario { return scenario.All() }
+
+// ScenarioByName returns a clone of the named registered scenario.
+func ScenarioByName(name string) (*Scenario, bool) { return scenario.Lookup(name) }
+
+// RegisterScenario validates s and adds it to the process-wide registry,
+// making it runnable by name (including from `reactsim -scenario`).
+func RegisterScenario(s *Scenario) error { return scenario.Register(s) }
+
+// ParseScenario builds and validates a Scenario from its JSON encoding.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.ParseSpec(data) }
+
+// RunScenario runs the named registered scenario: every buffer in its set,
+// scheduled over the experiment engine's worker pool.
+func RunScenario(ctx context.Context, name string, opt ScenarioOptions) (*ScenarioRun, error) {
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("react: unknown scenario %q (react.Scenarios lists the registry)", name)
+	}
+	return s.Run(ctx, nil, opt)
+}
 
 // Experiment-engine types: the shared orchestration layer every multi-run
 // workload (grids, sweeps, benchmarks, tools) schedules through.

@@ -1,6 +1,7 @@
 package react_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -134,5 +135,56 @@ func TestREACTBufferIntrospection(t *testing.T) {
 	}
 	if buf.Level() != 0 {
 		t.Error("fresh buffer starts at level 0")
+	}
+}
+
+// TestScenarioAPI exercises the scenario registry surface: listing,
+// lookup, JSON parsing, and an end-to-end run of a fast catalogue entry.
+func TestScenarioAPI(t *testing.T) {
+	nonPaper := 0
+	for _, s := range react.Scenarios() {
+		if !s.Paper {
+			nonPaper++
+		}
+	}
+	if nonPaper < 8 {
+		t.Fatalf("registry ships %d non-paper scenarios, want >= 8", nonPaper)
+	}
+	if _, ok := react.ScenarioByName("energy-attack"); !ok {
+		t.Fatal("energy-attack must be registered")
+	}
+	if _, ok := react.ScenarioByName("paper-de-rf-cart"); !ok {
+		t.Fatal("the paper grid must be registered")
+	}
+
+	run, err := react.RunScenario(context.Background(), "tiny-cap-degraded", react.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != len(run.Spec.Buffers) {
+		t.Fatalf("got %d results for %d buffers", len(run.Results), len(run.Spec.Buffers))
+	}
+	if res, ok := run.Result("330 µF aged"); !ok || res.Buffer != "330 µF aged" {
+		t.Errorf("custom static buffer missing from the run: %v %v", ok, res.Buffer)
+	}
+
+	spec, err := react.ParseScenario([]byte(`{
+		"name": "adhoc-json",
+		"trace": {"gen": "steady", "mean": 0.005, "duration": 30},
+		"workload": {"bench": "DE"},
+		"buffers": [{"preset": "770 µF"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := spec.Run(context.Background(), nil, react.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Results[0].Metrics["blocks"] == 0 {
+		t.Error("JSON-built scenario did no work")
+	}
+	if _, err := react.ParseScenario([]byte(`{"name":"bad","trace":{"gen":"nope"},"workload":{"bench":"DE"},"buffers":[{"preset":"770 µF"}]}`)); err == nil {
+		t.Error("unknown generator must fail validation")
 	}
 }
