@@ -1,0 +1,71 @@
+// Command reactd serves simulations over HTTP: the scenario registry and
+// inline JSON specs, executed asynchronously over the experiment engine
+// with a content-addressed, single-flight result cache.
+//
+// Usage:
+//
+//	reactd [-addr :8080] [-workers n] [-cache n]
+//
+// Endpoints:
+//
+//	GET    /scenarios  list the registry (names, buffers, fingerprints)
+//	POST   /runs       submit: {"scenario":"energy-attack"} or {"spec":{...}}
+//	GET    /runs/{id}  poll status and (partial) per-buffer results
+//	DELETE /runs/{id}  cancel an in-flight run / forget a finished one
+//	GET    /metrics    cache hit rate, queue depth, sims/sec
+//
+// A submission returns a run id immediately (HTTP 202), or the cached
+// result (HTTP 200) when an identical run — same scenario physics, seed
+// and timestep — already completed. Concurrent identical submissions
+// coalesce into a single simulation. SIGINT/SIGTERM drain in-flight work
+// before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"react/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", service.DefaultCacheRuns, "completed runs kept in the result cache")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{Workers: *workers, CacheRuns: *cache})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "reactd: serving on %s (workers %d, cache %d runs)\n", *addr, *workers, *cache)
+
+	select {
+	case err := <-errCh:
+		// The listener failed outright (bad address, port in use).
+		fmt.Fprintln(os.Stderr, "reactd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "reactd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "reactd: shutdown:", err)
+	}
+	srv.Close()
+}

@@ -149,9 +149,12 @@ func (f *Frontend) Power(t, vBuf float64) float64 {
 }
 
 // Aligned reports whether a simulation loop of timestep dt steps exactly one
-// trace sample per tick, enabling the PowerSample fast path.
+// trace sample per tick, enabling the PowerSample fast path. A trace with a
+// non-positive sample spacing never aligns: it has no extent in time
+// (Trace.At and Trace.Duration treat it as empty), so the index fast path
+// must not replay its samples either.
 func (f *Frontend) Aligned(dt float64) bool {
-	return f.Trace != nil && f.Trace.DT == dt
+	return f.Trace != nil && dt > 0 && f.Trace.DT == dt
 }
 
 // PowerSample is the aligned fast path of Power: the power delivered to a

@@ -7,6 +7,24 @@ import (
 	"react/internal/trace"
 )
 
+// TestAlignedRequiresPositiveSpacing pins the fast-path gate: a trace with
+// a degenerate sample spacing must never take the index-per-tick path (it
+// has no extent in time, so Trace.At treats it as empty), and alignment
+// demands an exact spacing match.
+func TestAlignedRequiresPositiveSpacing(t *testing.T) {
+	bad := NewFrontend(&trace.Trace{DT: 0, Power: []float64{1, 2}}, nil)
+	if bad.Aligned(0) {
+		t.Error("a zero-DT trace must not align with a zero timestep")
+	}
+	ok := NewFrontend(&trace.Trace{DT: 1e-3, Power: []float64{1, 2}}, nil)
+	if !ok.Aligned(1e-3) {
+		t.Error("matching positive spacings must align")
+	}
+	if ok.Aligned(2e-3) {
+		t.Error("mismatched spacings must not align")
+	}
+}
+
 func TestIdentityPassesThrough(t *testing.T) {
 	c := Identity{}
 	if got := c.Deliver(5e-3, 2.0); got != 5e-3 {

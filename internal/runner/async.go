@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// Job is the handle to a batch running asynchronously on a Runner — the
+// submit/poll/cancel primitive the service layer builds its run queue on.
+// A Job is created by Submit and is safe for concurrent use.
+type Job struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	total     int
+	completed int
+	failed    int
+	err       error
+}
+
+// Submit starts fn(ctx, i) for every i in [0, n) over r's worker pool in
+// the background and returns immediately. The batch has Do's semantics —
+// index-ordered dispatch, every job runs to completion even when a sibling
+// fails, first error by index — but completion is observed through the
+// returned handle instead of a blocking call. Cancelling the handle (or
+// ctx) stops dispatch and lets in-flight jobs finish.
+func Submit(ctx context.Context, r *Runner, n int, fn func(ctx context.Context, i int) error) *Job {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	j := &Job{cancel: cancel, done: make(chan struct{}), total: n}
+	go func() {
+		defer cancel() // release the derived context once the batch drains
+		err := r.Do(ctx, n, func(ctx context.Context, i int) error {
+			err := fn(ctx, i)
+			j.mu.Lock()
+			j.completed++
+			if err != nil {
+				j.failed++
+			}
+			j.mu.Unlock()
+			return err
+		})
+		j.mu.Lock()
+		j.err = err
+		j.mu.Unlock()
+		close(j.done)
+	}()
+	return j
+}
+
+// Cancel stops dispatching new jobs; in-flight jobs finish. Wait (or Done)
+// still reports completion afterwards, with context.Canceled as the error.
+// Cancel is idempotent.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the batch has fully drained.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the batch drains and returns its outcome: nil when
+// every job succeeded, the first error by index when one failed, or the
+// context's error when the batch was cancelled.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
+
+// Err returns the batch outcome, or nil while the batch is still running
+// (poll Running to distinguish "running" from "succeeded").
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Running reports whether the batch is still draining.
+func (j *Job) Running() bool {
+	select {
+	case <-j.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Progress returns how many jobs have finished (including failed ones, as
+// the second count) out of the batch total.
+func (j *Job) Progress() (completed, failed, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed, j.failed, j.total
+}

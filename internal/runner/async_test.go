@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitRunsBatchToCompletion(t *testing.T) {
+	var ran [8]int32
+	j := Submit(context.Background(), &Runner{Workers: 3}, len(ran), func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		return nil
+	})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Running() {
+		t.Error("a drained job must not report running")
+	}
+	done, failed, total := j.Progress()
+	if done != len(ran) || failed != 0 || total != len(ran) {
+		t.Errorf("progress %d/%d failed %d, want %d/%d failed 0", done, total, failed, len(ran), len(ran))
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Errorf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestSubmitReportsFirstErrorByIndex(t *testing.T) {
+	j := Submit(context.Background(), nil, 6, func(_ context.Context, i int) error {
+		if i == 2 || i == 4 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err := j.Wait(); err == nil || err.Error() != "job 2 failed" {
+		t.Errorf("want the first error by index, got %v", err)
+	}
+	if _, failed, _ := j.Progress(); failed != 2 {
+		t.Errorf("failed count %d, want 2", failed)
+	}
+}
+
+func TestSubmitCancelStopsDispatch(t *testing.T) {
+	started := make(chan int, 64)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var j *Job
+	j = Submit(context.Background(), &Runner{Workers: 1}, 64, func(ctx context.Context, i int) error {
+		started <- i
+		if i == 0 {
+			wg.Done()
+			<-release
+		}
+		return nil
+	})
+	wg.Wait() // job 0 is in flight on the single worker
+	j.Cancel()
+	close(release)
+	if err := j.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	close(started)
+	n := 0
+	for range started {
+		n++
+	}
+	if n >= 64 {
+		t.Errorf("cancellation did not stop dispatch: %d jobs started", n)
+	}
+	if done, _, total := j.Progress(); done >= total {
+		t.Errorf("progress %d/%d after cancel, want a partial batch", done, total)
+	}
+}
+
+func TestSubmitHonoursParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := Submit(ctx, nil, 4, func(_ context.Context, i int) error { return nil })
+	if err := j.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("want the parent cancellation, got %v", err)
+	}
+}
+
+func TestJobProgressIsObservableMidFlight(t *testing.T) {
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	j := Submit(context.Background(), &Runner{Workers: 1}, 3, func(_ context.Context, i int) error {
+		once.Do(func() { close(first) })
+		if i == 1 {
+			<-release
+		}
+		return nil
+	})
+	<-first
+	if !j.Running() {
+		t.Error("job must report running while jobs remain")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if done, _, _ := j.Progress(); done >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("progress never advanced")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

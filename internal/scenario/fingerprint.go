@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"react/internal/trace"
+)
+
+// This file computes content addresses for scenario runs: a stable,
+// canonical encoding of everything that determines a run's results, hashed
+// with SHA-256. Two submissions with the same fingerprint produce
+// bit-identical results (the engine is deterministic for any worker count),
+// which is what lets the service layer deduplicate and cache runs.
+//
+// The canonical form excludes presentation metadata (Name, Title, Paper,
+// Long) — it describes the physics, not the catalogue entry — and resolves
+// the defaulted knobs the spec layer itself resolves (seed 0 → the spec's
+// seed → 1; timestep 0 → the spec's → 1 ms; tail cap 0 → 600 s; the
+// steady generator's mean/duration; a static buffer's VMax/LeakI/VRated),
+// so a defaulted run and its explicitly spelled-out equivalent share one
+// address. Workload-internal defaults (an SC period, a PF interarrival)
+// are hashed raw: spelling one out produces a distinct address even when
+// it matches the benchmark's built-in default — a dedup miss, never a
+// false hit. Worker count is excluded: results are deterministic
+// regardless of pool size.
+
+// FingerprintPrefix tags every fingerprint with the hash it was built from.
+const FingerprintPrefix = "sha256:"
+
+// canonicalRun is the hashed form of a Spec resolved against RunOptions.
+// Field order (and therefore encoding) is fixed; bump the fingerprint
+// version comment below when changing it.
+type canonicalRun struct {
+	Trace     canonicalTrace `json:"trace"`
+	Converter string         `json:"converter"`
+	Device    DeviceSpec     `json:"device"`
+	Workload  WorkloadSpec   `json:"workload"`
+	Buffers   []BufferSpec   `json:"buffers"`
+	DT        float64        `json:"dt"`
+	TailCap   float64        `json:"tail_cap"`
+	Seed      uint64         `json:"seed"`
+	RecordDT  float64        `json:"record_dt,omitempty"`
+}
+
+// canonicalTrace is the trace selection with a Loaded trace replaced by a
+// digest of its content (name, spacing, and every sample — the name
+// participates because event seeds derive from it).
+type canonicalTrace struct {
+	Gen      string  `json:"gen,omitempty"`
+	Mean     float64 `json:"mean,omitempty"`
+	Duration float64 `json:"duration,omitempty"`
+	Digest   string  `json:"digest,omitempty"`
+}
+
+// traceDigest hashes a loaded trace's content.
+func traceDigest(tr *trace.Trace) string {
+	h := sha256.New()
+	h.Write([]byte(tr.Name))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tr.DT))
+	h.Write(buf[:])
+	for _, p := range tr.Power {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Fingerprint returns the content address of the runs this spec produces at
+// its default options — the registry key the service's result cache uses
+// for named-scenario submissions. Specs carrying a Go-only custom buffer
+// constructor have no canonical encoding and return an error.
+func (s *Spec) Fingerprint() (string, error) {
+	return s.FingerprintRun(RunOptions{})
+}
+
+// FingerprintRun returns the content address of the spec resolved against
+// opt: equal fingerprints mean bit-identical Run results. JSON field order
+// of an inline submission never matters — specs are parsed into structs
+// before encoding — and option defaults hash identically to their explicit
+// values.
+func (s *Spec) FingerprintRun(opt RunOptions) (string, error) {
+	c := canonicalRun{
+		Converter: s.Converter,
+		Device:    s.Device,
+		Workload:  s.Workload,
+		DT:        s.DT,
+		TailCap:   s.TailCap,
+		Seed:      opt.seed(s),
+		RecordDT:  opt.RecordDT,
+	}
+	if c.Converter == "" {
+		c.Converter = "identity"
+	}
+	if opt.DT > 0 {
+		c.DT = opt.DT
+	}
+	if c.DT == 0 {
+		c.DT = 1e-3
+	}
+	if c.TailCap == 0 {
+		c.TailCap = 600
+	}
+	c.Buffers = make([]BufferSpec, len(s.Buffers))
+	for i, bs := range s.Buffers {
+		if bs.New != nil {
+			return "", fmt.Errorf("scenario %q: buffer %q: custom constructor buffers have no canonical encoding", s.Name, bs.DisplayName())
+		}
+		if bs.Static != nil {
+			// Resolve the defaults BufferSpec.Build applies, mirroring it.
+			st := *bs.Static
+			if st.VMax <= 0 {
+				st.VMax = 3.6
+			}
+			if st.LeakI <= 0 {
+				st.LeakI = StaticLeak(st.C)
+			}
+			if st.VRated <= 0 {
+				st.VRated = 6.3
+			}
+			bs.Static = &st
+		}
+		c.Buffers[i] = bs
+	}
+	ts := s.Trace
+	c.Trace = canonicalTrace{Gen: ts.Gen, Mean: ts.Mean, Duration: ts.Duration}
+	if ts.Gen == steadyGen {
+		// Resolve the steady generator's defaults, mirroring TraceSpec.Build.
+		if c.Trace.Mean <= 0 {
+			c.Trace.Mean = 10e-3
+		}
+		if c.Trace.Duration <= 0 {
+			c.Trace.Duration = 300
+		}
+	}
+	if ts.Loaded != nil {
+		c.Trace.Digest = traceDigest(ts.Loaded)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("scenario %q: encoding canonical form: %w", s.Name, err)
+	}
+	return FingerprintPrefix + fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}

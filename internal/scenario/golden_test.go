@@ -231,11 +231,13 @@ func TestGoldenPaperGrid(t *testing.T) {
 			t.Fatalf("BENCH_1.json is missing %s", key)
 		}
 		got := f.Improvement[buf] * 100
-		// The file stores 4 significant digits; compare at that grain.
-		tol := 0.0005
-		if math.Abs(want) >= 10 {
-			tol = 0.005
-		}
+		// BENCH_1 predates the sim-loop time fix that stopped a trace from
+		// delivering one extra tick of its last sample (accumulated t lagged
+		// the tick grid), which moved the headline gains by up to ~0.03 pp.
+		// Compare against the recorded history at a tolerance that admits
+		// that correction while still catching real regressions; the
+		// per-cell golden files pin the current behaviour at 1e-9.
+		const tol = 0.05
 		if math.Abs(got-want) > tol {
 			t.Errorf("Figure 7 %s: %.4f%% differs from BENCH_1's %.4f%%", buf, got, want)
 		}

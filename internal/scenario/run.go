@@ -13,8 +13,9 @@ import (
 // RunOptions tunes one scenario run; the zero value uses the spec's
 // defaults.
 type RunOptions struct {
-	// Seed overrides the spec's trace/event seed (0 keeps the spec's,
-	// which itself defaults to 1).
+	// Seed overrides the spec's trace/event seed. 0 means "unset": the
+	// spec's seed applies, which itself defaults to 1 — an explicit seed 0
+	// is not expressible anywhere in the stack, and sweeps start at 1.
 	Seed uint64
 	// Workers bounds the per-buffer worker pool when Run builds its own
 	// runner (0 = GOMAXPROCS).

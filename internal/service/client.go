@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to a reactd server. Create with Dial; the zero value is not
+// usable. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial validates the base URL ("http://host:port") and probes the server's
+// /metrics endpoint to fail fast on a wrong address.
+func Dial(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("service: parsing %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("service: %q: want an http(s) base URL", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{Timeout: 30 * time.Second}}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Metrics(ctx); err != nil {
+		return nil, fmt.Errorf("service: no reactd at %s: %w", c.base, err)
+	}
+	return c, nil
+}
+
+// do issues a request and decodes the JSON response (or the error
+// envelope) into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("service: %s %s: %s", method, path, eb.Error)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Scenarios lists the server's registry.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var out struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/scenarios", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Scenarios, nil
+}
+
+// Metrics reads the server's cache/queue/throughput counters.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// RunAsync submits a run and returns a handle immediately; the server
+// simulates in the background (or serves the result cache). Poll or Wait
+// the handle for results.
+func (c *Client) RunAsync(ctx context.Context, req RunRequest) (*RemoteRun, error) {
+	var st RunStatus
+	if err := c.do(ctx, http.MethodPost, "/runs", req, &st); err != nil {
+		return nil, err
+	}
+	return &RemoteRun{c: c, ID: st.ID, Submitted: &st}, nil
+}
+
+// Run submits and waits: the synchronous convenience over RunAsync. A
+// failed or cancelled run returns the final status alongside an error.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunStatus, error) {
+	rr, err := c.RunAsync(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return rr.Wait(ctx)
+}
+
+// RemoteRun is a submitted run's handle.
+type RemoteRun struct {
+	c  *Client
+	ID string
+	// Submitted is the submission response — in particular its Cached and
+	// Coalesced flags, which later polls do not repeat.
+	Submitted *RunStatus
+}
+
+// Poll fetches the run's current status; completed cells carry results
+// while the rest are still simulating.
+func (r *RemoteRun) Poll(ctx context.Context) (*RunStatus, error) {
+	var st RunStatus
+	if err := r.c.do(ctx, http.MethodGet, "/runs/"+url.PathEscape(r.ID), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel asks the server to stop the run (in-flight cells finish; queued
+// cells are dropped).
+func (r *RemoteRun) Cancel(ctx context.Context) error {
+	return r.c.do(ctx, http.MethodDelete, "/runs/"+url.PathEscape(r.ID), nil, nil)
+}
+
+// Wait polls until the run reaches a terminal state. A failed or cancelled
+// run returns its final status alongside an error.
+func (r *RemoteRun) Wait(ctx context.Context) (*RunStatus, error) {
+	if r.Submitted != nil && Terminal(r.Submitted.Status) {
+		return r.finish(r.Submitted)
+	}
+	delay := 10 * time.Millisecond
+	for {
+		st, err := r.Poll(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(st.Status) {
+			return r.finish(st)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < 500*time.Millisecond {
+			delay += delay / 2
+		}
+	}
+}
+
+func (r *RemoteRun) finish(st *RunStatus) (*RunStatus, error) {
+	if st.Status == StatusDone {
+		return st, nil
+	}
+	return st, fmt.Errorf("service: run %s %s: %s", st.ID, st.Status, st.Error)
+}

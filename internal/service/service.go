@@ -1,0 +1,484 @@
+// Package service is the simulation-as-a-service layer behind cmd/reactd:
+// an HTTP/JSON API over the scenario registry and the experiment engine,
+// with a content-addressed, single-flight result cache.
+//
+// Every submission is resolved to a canonical fingerprint
+// (scenario.Spec.FingerprintRun), and the cache coalesces work at that
+// address: a repeat of a completed run is served in O(1), and concurrent
+// identical submissions attach to the one in-flight run instead of
+// simulating twice. Runs execute asynchronously — a submit returns a run
+// id immediately, cells fan out per buffer over a bounded worker pool
+// (runner.Submit), and partial results are visible while the run drains.
+//
+// Endpoints:
+//
+//	GET    /scenarios  registry listing with fingerprints
+//	POST   /runs       submit a run (named scenario or inline spec)
+//	GET    /runs/{id}  poll status and (partial) results
+//	DELETE /runs/{id}  cancel an in-flight run / forget a finished one
+//	GET    /metrics    cache hit rate, queue depth, sims/sec
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"react/internal/runner"
+	"react/internal/scenario"
+	"react/internal/sim"
+)
+
+// DefaultCacheRuns bounds the finished runs kept for reuse when
+// Config.CacheRuns is zero.
+const DefaultCacheRuns = 64
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently simulating cells across all runs
+	// (0 = GOMAXPROCS).
+	Workers int
+	// CacheRuns bounds the finished runs kept for content-addressed reuse
+	// (0 = DefaultCacheRuns). In-flight runs are never evicted.
+	CacheRuns int
+}
+
+// Server implements the service over http.Handler. Create with New, shut
+// down with Close.
+type Server struct {
+	workers   int
+	cacheRuns int
+	mux       *http.ServeMux
+	ctx       context.Context
+	shutdown  context.CancelFunc
+	sem       chan struct{}
+	jobs      sync.WaitGroup
+	start     time.Time
+
+	// Monotonic counters (atomic: bumped from cell goroutines).
+	submitted, hits, coalesced, misses, evictions atomic.Uint64
+	cellsQueued, cellsDone                        atomic.Uint64 // finished cells of any outcome (queue depth)
+	simsOK, simsFailed                            atomic.Uint64 // actual simulations: succeeded / errored
+
+	// mu guards the run stores. Lock order: mu before run.mu.
+	mu   sync.Mutex
+	seq  int
+	runs map[string]*run // every tracked run, by id
+	byFP map[string]*run // single-flight index: running or done runs
+	lru  *list.List      // cached done runs, most recently used first
+	junk *list.List      // failed/cancelled runs kept briefly for polling
+}
+
+// junkRuns bounds the failed/cancelled runs kept around for polling. They
+// are tracked separately from the result cache so that non-reusable runs
+// never evict reusable cached results.
+const junkRuns = 32
+
+// run is one tracked submission's state.
+type run struct {
+	id      string
+	fp      string // "" when the spec has no canonical encoding
+	spec    *scenario.Spec
+	opt     scenario.RunOptions
+	created time.Time
+	job     *runner.Job
+	elem    *list.Element // slot in home once terminal
+	home    *list.List    // the LRU (done) or junk (failed/cancelled) list
+
+	mu       sync.Mutex
+	status   string
+	canceled bool
+	errMsg   string
+	finished time.Time
+	cells    []cellState
+}
+
+type cellState struct {
+	done bool
+	err  string
+	res  sim.Result
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheRuns := cfg.CacheRuns
+	if cacheRuns <= 0 {
+		cacheRuns = DefaultCacheRuns
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		workers:   workers,
+		cacheRuns: cacheRuns,
+		ctx:       ctx,
+		shutdown:  cancel,
+		sem:       make(chan struct{}, workers),
+		start:     time.Now(),
+		runs:      map[string]*run{},
+		byFP:      map[string]*run{},
+		lru:       list.New(),
+		junk:      list.New(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every in-flight run and waits for the workers to drain.
+// The HTTP listener (if any) is the caller's to shut down first.
+func (s *Server) Close() {
+	s.shutdown()
+	s.jobs.Wait()
+}
+
+// Submit resolves, deduplicates and (if needed) launches a run, returning
+// its submission view. It is the Go-level core of POST /runs.
+func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus {
+	s.submitted.Add(1)
+	// A spec with no canonical encoding (Go-only constructors) still runs;
+	// it just cannot be deduplicated or cached.
+	fp, _ := spec.FingerprintRun(opt)
+
+	s.mu.Lock()
+	if fp != "" {
+		if r := s.byFP[fp]; r != nil {
+			r.mu.Lock()
+			status := r.status
+			r.mu.Unlock()
+			if status == StatusDone {
+				s.hits.Add(1)
+				s.lru.MoveToFront(r.elem)
+				s.mu.Unlock()
+				st := s.view(r)
+				st.Cached = true
+				return st
+			}
+			if status == StatusRunning {
+				s.coalesced.Add(1)
+				s.mu.Unlock()
+				st := s.view(r)
+				st.Coalesced = true
+				return st
+			}
+			// A failed or cancelled run should have left the index; fall
+			// through and replace it.
+		}
+	}
+	s.misses.Add(1)
+	s.seq++
+	r := &run{
+		id:      fmt.Sprintf("r%06d", s.seq),
+		fp:      fp,
+		spec:    spec,
+		opt:     opt,
+		created: time.Now(),
+		status:  StatusRunning,
+		cells:   make([]cellState, len(spec.Buffers)),
+	}
+	s.runs[r.id] = r
+	if fp != "" {
+		s.byFP[fp] = r
+	}
+	s.launch(r)
+	s.mu.Unlock()
+	return s.view(r)
+}
+
+// launch fans the run's cells out over the shared pool. Called with s.mu
+// held; returns immediately.
+func (s *Server) launch(r *run) {
+	n := len(r.spec.Buffers)
+	s.cellsQueued.Add(uint64(n))
+	r.job = runner.Submit(s.ctx, &runner.Runner{Workers: n}, n, func(ctx context.Context, i int) error {
+		// The per-run pool admits every cell; the semaphore is the global
+		// concurrency bound across runs.
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.cellsDone.Add(1)
+			return ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		res, err := r.spec.Cell(i, r.opt)
+		r.mu.Lock()
+		if err != nil {
+			r.cells[i] = cellState{done: true, err: err.Error()}
+		} else {
+			r.cells[i] = cellState{done: true, res: res}
+		}
+		r.mu.Unlock()
+		s.cellsDone.Add(1)
+		if err != nil {
+			s.simsFailed.Add(1)
+			return fmt.Errorf("%s: %w", r.spec.Buffers[i].DisplayName(), err)
+		}
+		s.simsOK.Add(1)
+		return nil
+	})
+	s.jobs.Add(1)
+	go func() {
+		defer s.jobs.Done()
+		err := r.job.Wait()
+		s.finalize(r, err)
+	}()
+}
+
+// finalize records a drained run's outcome and manages the cache: done
+// runs stay addressable by fingerprint (bounded by LRU eviction), failed
+// and cancelled runs leave the single-flight index so a resubmission
+// simulates afresh.
+func (s *Server) finalize(r *run, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	switch {
+	case err == nil:
+		r.status = StatusDone
+	case errors.Is(err, context.Canceled) || r.canceled:
+		r.status = StatusCanceled
+		r.errMsg = context.Canceled.Error()
+	default:
+		r.status = StatusFailed
+		r.errMsg = err.Error()
+	}
+	r.finished = time.Now()
+	status := r.status
+	r.mu.Unlock()
+
+	// Cells never dispatched (cancellation landed mid-batch) bumped the
+	// queued counter but ran no fn; reconcile so queue depth returns to 0.
+	if completed, _, total := r.job.Progress(); total > completed {
+		s.cellsDone.Add(uint64(total - completed))
+	}
+
+	if status == StatusDone {
+		r.home = s.lru
+		r.elem = s.lru.PushFront(r)
+		for s.lru.Len() > s.cacheRuns {
+			s.evict(s.lru.Back().Value.(*run))
+			s.evictions.Add(1)
+		}
+		return
+	}
+	// Failed and cancelled runs leave the single-flight index (a
+	// resubmission simulates afresh) and are kept only briefly for
+	// polling, never displacing cached results.
+	if r.fp != "" && s.byFP[r.fp] == r {
+		delete(s.byFP, r.fp)
+	}
+	r.home = s.junk
+	r.elem = s.junk.PushFront(r)
+	for s.junk.Len() > junkRuns {
+		s.evict(s.junk.Back().Value.(*run))
+	}
+}
+
+// evict forgets a terminal run. Called with s.mu held.
+func (s *Server) evict(r *run) {
+	r.home.Remove(r.elem)
+	delete(s.runs, r.id)
+	if r.fp != "" && s.byFP[r.fp] == r {
+		delete(s.byFP, r.fp)
+	}
+}
+
+// view snapshots a run into its wire shape.
+func (s *Server) view(r *run) *RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &RunStatus{
+		ID:          r.id,
+		Scenario:    r.spec.Name,
+		Seed:        r.opt.Seed,
+		Fingerprint: r.fp,
+		Status:      r.status,
+		Error:       r.errMsg,
+		Created:     r.created,
+		Cells:       make([]CellStatus, len(r.cells)),
+	}
+	if st.Seed == 0 {
+		if st.Seed = r.spec.Seed; st.Seed == 0 {
+			st.Seed = 1
+		}
+	}
+	if Terminal(r.status) {
+		f := r.finished
+		st.Finished = &f
+	}
+	for i, c := range r.cells {
+		cs := CellStatus{Buffer: r.spec.Buffers[i].DisplayName(), Done: c.done, Error: c.err}
+		if c.done && c.err == "" {
+			cs.Result = toCellResult(c.res)
+		}
+		st.Cells[i] = cs
+	}
+	return st
+}
+
+// metrics snapshots the counters.
+func (s *Server) metrics() *Metrics {
+	s.mu.Lock()
+	tracked := len(s.runs)
+	entries := s.lru.Len()
+	active := tracked - entries - s.junk.Len()
+	s.mu.Unlock()
+
+	queued, done := s.cellsQueued.Load(), s.cellsDone.Load()
+	m := &Metrics{
+		UptimeS:       time.Since(s.start).Seconds(),
+		Workers:       s.workers,
+		Submitted:     s.submitted.Load(),
+		CacheHits:     s.hits.Load(),
+		Coalesced:     s.coalesced.Load(),
+		CacheMisses:   s.misses.Load(),
+		CacheEntries:  entries,
+		CacheCapacity: s.cacheRuns,
+		Evictions:     s.evictions.Load(),
+		RunsTracked:   tracked,
+		RunsActive:    active,
+		QueueDepth:    int(queued - done),
+		CellsRunning:  len(s.sem),
+		SimsCompleted: s.simsOK.Load(),
+		SimsFailed:    s.simsFailed.Load(),
+	}
+	if m.Submitted > 0 {
+		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
+	}
+	if m.UptimeS > 0 {
+		m.SimsPerSec = float64(m.SimsCompleted) / m.UptimeS
+	}
+	return m
+}
+
+// --- HTTP handlers ---
+
+// maxSpecBytes bounds an inline spec submission.
+const maxSpecBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	specs := scenario.All()
+	out := struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}{Scenarios: make([]ScenarioInfo, 0, len(specs))}
+	for _, spec := range specs {
+		out.Scenarios = append(out.Scenarios, toScenarioInfo(spec))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var rr RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rr); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding run request: %v", err)
+		return
+	}
+	var (
+		spec *scenario.Spec
+		err  error
+	)
+	switch {
+	case rr.Scenario != "" && len(rr.Spec) > 0:
+		writeError(w, http.StatusBadRequest, "set either scenario or spec, not both")
+		return
+	case rr.Scenario != "":
+		var ok bool
+		if spec, ok = scenario.Lookup(rr.Scenario); !ok {
+			writeError(w, http.StatusNotFound, "unknown scenario %q (GET /scenarios lists the registry)", rr.Scenario)
+			return
+		}
+	case len(rr.Spec) > 0:
+		if spec, err = scenario.ParseSpec(rr.Spec); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "a run needs a scenario name or an inline spec")
+		return
+	}
+	if rr.DT < 0 {
+		writeError(w, http.StatusBadRequest, "dt must be positive")
+		return
+	}
+	st := s.Submit(spec, scenario.RunOptions{Seed: rr.Seed, DT: rr.DT})
+	code := http.StatusAccepted
+	if Terminal(st.Status) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	r := s.runs[req.PathValue("id")]
+	s.mu.Unlock()
+	if r == nil {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(r))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	r := s.runs[id]
+	if r == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	r.mu.Lock()
+	terminal := Terminal(r.status)
+	if !terminal {
+		// Leave the single-flight index immediately so new identical
+		// submissions start fresh instead of attaching to a dying run.
+		r.canceled = true
+		if r.fp != "" && s.byFP[r.fp] == r {
+			delete(s.byFP, r.fp)
+		}
+	} else {
+		s.evict(r) // an explicit forget; not counted as a cache eviction
+	}
+	r.mu.Unlock()
+	s.mu.Unlock()
+	if !terminal {
+		r.job.Cancel()
+	}
+	writeJSON(w, http.StatusOK, s.view(r))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics())
+}

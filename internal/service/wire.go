@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"time"
+
+	"react/internal/buffer"
+	"react/internal/scenario"
+	"react/internal/sim"
+)
+
+// This file defines the service's HTTP/JSON wire shapes, shared verbatim by
+// the server and the Go client.
+
+// Run lifecycle states reported by RunStatus.Status.
+const (
+	// StatusRunning: the run's cells are queued or simulating; completed
+	// cells are already visible in RunStatus.Cells.
+	StatusRunning = "running"
+	// StatusDone: every cell completed successfully.
+	StatusDone = "done"
+	// StatusFailed: at least one cell errored; RunStatus.Error carries the
+	// first error by cell index.
+	StatusFailed = "failed"
+	// StatusCanceled: the run was cancelled before draining.
+	StatusCanceled = "canceled"
+)
+
+// Terminal reports whether a run status is final.
+func Terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// RunRequest submits a scenario run: either a registered scenario by name
+// or an inline JSON spec (exactly one must be set). Seed 0 means "unset":
+// the spec's own seed applies, which itself defaults to 1 — an explicit
+// seed 0 is not expressible anywhere in the stack. DT 0 keeps the spec's
+// timestep.
+type RunRequest struct {
+	Scenario string          `json:"scenario,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Seed     uint64          `json:"seed,omitempty"`
+	DT       float64         `json:"dt,omitempty"`
+}
+
+// CellResult is one buffer's completed simulation, the service's view of a
+// sim.Result (recordings excluded).
+type CellResult struct {
+	Latency       float64            `json:"latency_s"`
+	OnTime        float64            `json:"on_time_s"`
+	Duration      float64            `json:"duration_s"`
+	Duty          float64            `json:"duty"`
+	Cycles        int                `json:"cycles"`
+	MeanCycle     float64            `json:"mean_cycle_s"`
+	Stored        float64            `json:"stored_j"`
+	InitialStored float64            `json:"initial_stored_j,omitempty"`
+	Metrics       map[string]float64 `json:"metrics"`
+	Ledger        buffer.Ledger      `json:"ledger"`
+	BalanceError  float64            `json:"energy_balance_error"`
+}
+
+func toCellResult(r sim.Result) *CellResult {
+	return &CellResult{
+		Latency:       r.Latency,
+		OnTime:        r.OnTime,
+		Duration:      r.Duration,
+		Duty:          r.OnFraction(),
+		Cycles:        r.Cycles,
+		MeanCycle:     r.MeanCycle,
+		Stored:        r.Stored,
+		InitialStored: r.InitialStored,
+		Metrics:       r.Metrics,
+		Ledger:        r.Ledger,
+		BalanceError:  r.EnergyBalanceError(),
+	}
+}
+
+// CellStatus is one buffer's slot in a run: pending, failed, or completed
+// with its result — partial results are visible while the run drains.
+type CellStatus struct {
+	Buffer string      `json:"buffer"`
+	Done   bool        `json:"done"`
+	Error  string      `json:"error,omitempty"`
+	Result *CellResult `json:"result,omitempty"`
+}
+
+// RunStatus is the submit/poll view of a run.
+type RunStatus struct {
+	ID          string `json:"id"`
+	Scenario    string `json:"scenario"`
+	Seed        uint64 `json:"seed"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Status      string `json:"status"`
+	// Cached marks a submission served entirely from the result cache;
+	// Coalesced marks one attached to an identical run already in flight.
+	// Both are properties of the submission, false on later polls.
+	Cached    bool         `json:"cached,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Created   time.Time    `json:"created"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Cells     []CellStatus `json:"cells"`
+}
+
+// Result returns the completed cell for a buffer display name.
+func (st *RunStatus) Result(buffer string) (*CellResult, bool) {
+	for _, c := range st.Cells {
+		if c.Buffer == buffer && c.Result != nil {
+			return c.Result, true
+		}
+	}
+	return nil, false
+}
+
+// ScenarioInfo is one registry entry in the GET /scenarios listing.
+type ScenarioInfo struct {
+	Name        string   `json:"name"`
+	Title       string   `json:"title,omitempty"`
+	Paper       bool     `json:"paper,omitempty"`
+	Long        bool     `json:"long,omitempty"`
+	Bench       string   `json:"bench"`
+	Trace       string   `json:"trace"`
+	Buffers     []string `json:"buffers"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+func toScenarioInfo(s *scenario.Spec) ScenarioInfo {
+	info := ScenarioInfo{
+		Name:  s.Name,
+		Title: s.Title,
+		Paper: s.Paper,
+		Long:  s.Long,
+		Bench: s.Workload.Bench,
+		Trace: s.Trace.Gen,
+	}
+	for _, bs := range s.Buffers {
+		info.Buffers = append(info.Buffers, bs.DisplayName())
+	}
+	if fp, err := s.Fingerprint(); err == nil {
+		info.Fingerprint = fp
+	}
+	return info
+}
+
+// Metrics is the GET /metrics report: cache effectiveness, queue state and
+// simulation throughput.
+type Metrics struct {
+	UptimeS       float64 `json:"uptime_s"`
+	Workers       int     `json:"workers"`
+	Submitted     uint64  `json:"runs_submitted"`
+	CacheHits     uint64  `json:"cache_hits"`
+	Coalesced     uint64  `json:"coalesced"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheCapacity int     `json:"cache_capacity"`
+	Evictions     uint64  `json:"cache_evictions"`
+	RunsTracked   int     `json:"runs_tracked"`
+	RunsActive    int     `json:"runs_active"`
+	QueueDepth    int     `json:"queue_depth"`
+	CellsRunning  int     `json:"cells_running"`
+	SimsCompleted uint64  `json:"sims_completed"`
+	SimsFailed    uint64  `json:"sims_failed"`
+	SimsPerSec    float64 `json:"sims_per_sec"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}

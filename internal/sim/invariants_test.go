@@ -1,8 +1,10 @@
 package sim_test
 
 import (
+	"math"
 	"testing"
 
+	"react/internal/buffer"
 	"react/internal/core"
 	"react/internal/harvest"
 	"react/internal/mcu"
@@ -37,4 +39,34 @@ func TestRunUpholdsPerTickInvariants(t *testing.T) {
 	if res.Metrics["blocks"] == 0 {
 		t.Error("wrapped run did no work — the auditor must be behaviour-preserving")
 	}
+}
+
+// TestZeroHarvestPreChargedRunIsConserved pins the energy-balance
+// normalization for the cold-start/energy-attack family: a buffer that
+// starts charged and harvests nothing merely spends its initial energy, and
+// must report a (near-)zero conservation error — not a huge one from
+// normalizing residual stored energy against a zero harvest.
+func TestZeroHarvestPreChargedRunIsConserved(t *testing.T) {
+	buf := buffer.NewStatic(buffer.StaticConfig{Name: "pre-charged 10 mF", C: 10e-3, VMax: 3.6})
+	const initial = 0.060 // 3.46 V on 10 mF: above the 3.3 V enable
+	simtest.PreCharge(buf, initial)
+	dark := &trace.Trace{Name: "dark", DT: 1, Power: make([]float64, 30)}
+	res, err := sim.Run(sim.Config{
+		Frontend: harvest.NewFrontend(dark, nil),
+		Buffer:   buf,
+		Device:   mcu.NewDevice(mcu.DefaultProfile(), workload.NewDataEncryption(0.6e-3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.Harvested != 0 {
+		t.Fatalf("harvested %g J from a dark trace", res.Ledger.Harvested)
+	}
+	if math.Abs(res.InitialStored-initial) > 1e-12 {
+		t.Errorf("InitialStored %g, want the pre-charge %g", res.InitialStored, initial)
+	}
+	if res.OnTime == 0 {
+		t.Fatal("the pre-charge must power the device: the run moved no energy")
+	}
+	simtest.CheckBalance(t, "pre-charged dark run", res, 1e-6)
 }

@@ -140,6 +140,33 @@ func TestRecording(t *testing.T) {
 	}
 }
 
+// TestRecordScheduleDoesNotDrift pins the recording cadence: point k is
+// recorded on the first tick at or after k*RecordDT, for a RecordDT (0.1 s)
+// that is not a binary fraction. An accumulated nextRecord += RecordDT
+// schedule drifts off this grid over long runs, dropping or duplicating
+// points near the boundaries.
+func TestRecordScheduleDoesNotDrift(t *testing.T) {
+	cfg := testConfig(10e-3, 60, 1e-3)
+	cfg.RecordDT = 0.1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 1e-3
+	if want := int(res.Duration/cfg.RecordDT) - 1; len(res.Samples) < want {
+		t.Fatalf("recorded %d samples over %.1f s, want at least %d", len(res.Samples), res.Duration, want)
+	}
+	for k, s := range res.Samples {
+		// Point k lands on the first tick at or after its due instant —
+		// within one timestep (plus an ulp of slack for the tick-grid
+		// product rounding).
+		due := float64(k) * cfg.RecordDT
+		if s.T < due || s.T > due+dt*(1+1e-9) {
+			t.Fatalf("sample %d at t=%.17g, want within one tick of its %.17g due time", k, s.T, due)
+		}
+	}
+}
+
 func TestEnergyBalance(t *testing.T) {
 	res, err := Run(testConfig(5e-3, 60, 1.5e-3))
 	if err != nil {

@@ -176,6 +176,16 @@ func Check(b buffer.Buffer, vmax float64) (buffer.Buffer, *Recorder) {
 	}
 }
 
+// PreCharge deposits energy joules into b and clears its ledger, so the
+// charge reads as energy the buffer held before the simulation began — the
+// construction-time state of pre-charged zero-harvest studies (energy
+// attacks, cold starts). Call it before handing b to sim.Run, which records
+// the buffer's starting energy as Result.InitialStored.
+func PreCharge(b buffer.Buffer, energy float64) {
+	b.Harvest(energy)
+	*b.Ledger() = buffer.Ledger{}
+}
+
 // CheckBalance asserts the run's whole-trace energy conservation error is
 // within tol (the suites use 1e-6, the bound the repository's ledger tests
 // established).

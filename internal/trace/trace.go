@@ -27,8 +27,12 @@ type Trace struct {
 	Power []float64 // harvested power at each sample, watts
 }
 
-// Duration returns the total trace length in seconds.
+// Duration returns the total trace length in seconds. A trace with a
+// non-positive (or NaN) sample spacing has no extent in time and reports 0.
 func (t *Trace) Duration() float64 {
+	if !(t.DT > 0) {
+		return 0
+	}
 	return float64(len(t.Power)) * t.DT
 }
 
@@ -37,7 +41,10 @@ func (t *Trace) Duration() float64 {
 // the recording ends the harvester delivers nothing, which is how the
 // paper's "run until the buffer drains" tail behaves.
 func (t *Trace) At(ts float64) float64 {
-	if ts < 0 || len(t.Power) == 0 {
+	// A non-positive (or NaN) DT would turn the position division below
+	// into ±Inf/NaN and inject non-finite power into the simulation; such
+	// a trace delivers nothing, matching Duration's "no extent" view.
+	if ts < 0 || len(t.Power) == 0 || !(t.DT > 0) {
 		return 0
 	}
 	pos := ts / t.DT

@@ -7,6 +7,24 @@ import (
 	"testing"
 )
 
+// TestNonPositiveDTIsInert pins the degenerate-spacing guard: a trace whose
+// DT is zero, negative, or NaN (hand-built, or the product of a buggy
+// loader) has no extent in time and delivers no power, instead of injecting
+// Inf/NaN into the simulation through the At position division.
+func TestNonPositiveDTIsInert(t *testing.T) {
+	for _, dt := range []float64{0, -1, math.NaN()} {
+		tr := &Trace{DT: dt, Power: []float64{1, 2, 3}}
+		if got := tr.Duration(); got != 0 {
+			t.Errorf("DT=%g: Duration() = %g, want 0", dt, got)
+		}
+		for _, ts := range []float64{0, 0.5, 2} {
+			if got := tr.At(ts); got != 0 {
+				t.Errorf("DT=%g: At(%g) = %g, want 0", dt, ts, got)
+			}
+		}
+	}
+}
+
 func TestAtInterpolates(t *testing.T) {
 	tr := &Trace{DT: 1, Power: []float64{0, 2, 4}}
 	cases := []struct{ ts, want float64 }{

@@ -46,6 +46,7 @@ import (
 	"react/internal/radio"
 	"react/internal/runner"
 	"react/internal/scenario"
+	"react/internal/service"
 	"react/internal/sim"
 	"react/internal/timekeeper"
 	"react/internal/trace"
@@ -297,6 +298,54 @@ func RunScenario(ctx context.Context, name string, opt ScenarioOptions) (*Scenar
 		return nil, fmt.Errorf("react: unknown scenario %q (react.Scenarios lists the registry)", name)
 	}
 	return s.Run(ctx, nil, opt)
+}
+
+// Simulation-service types: the reactd daemon's building blocks (serve
+// scenarios over HTTP with a content-addressed, single-flight result
+// cache) and the Go client that talks to one.
+type (
+	// ServiceServer is the reactd HTTP handler: an async run queue over the
+	// experiment engine plus the result cache. Serve it with net/http and
+	// shut it down with Close.
+	ServiceServer = service.Server
+	// ServiceConfig tunes a ServiceServer (worker pool, cache size).
+	ServiceConfig = service.Config
+	// ServiceMetrics is the GET /metrics report.
+	ServiceMetrics = service.Metrics
+	// Client talks to a running reactd; create one with Dial.
+	Client = service.Client
+	// RemoteRun is a submitted run's poll/wait/cancel handle.
+	RemoteRun = service.RemoteRun
+	// RunRequest submits a run: a registered scenario name or an inline
+	// JSON spec, plus optional seed and timestep. Seed 0 means "unset"
+	// (the spec's seed applies, defaulting to 1).
+	RunRequest = service.RunRequest
+	// RunStatus is a run's submit/poll view, including partial results.
+	RunStatus = service.RunStatus
+	// RunCell is one buffer's slot in a RunStatus.
+	RunCell = service.CellStatus
+	// RunCellResult is one buffer's completed metrics.
+	RunCellResult = service.CellResult
+	// ServiceScenarioInfo is one GET /scenarios registry entry.
+	ServiceScenarioInfo = service.ScenarioInfo
+)
+
+// NewService builds a reactd server for embedding: mount it on any
+// net/http mux or serve it directly.
+func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+
+// Dial connects to a reactd server ("http://host:port") and verifies it
+// responds. Client.Run submits and waits; Client.RunAsync returns a
+// RemoteRun handle for polling, partial results and cancellation.
+func Dial(baseURL string) (*Client, error) { return service.Dial(baseURL) }
+
+// FingerprintScenario returns the content address of the runs a scenario
+// spec produces under the given options: a stable SHA-256 over the
+// canonicalized physics (trace, converter, device, workload, buffers,
+// timestep, tail cap, seed). Equal fingerprints mean bit-identical
+// results; the service's result cache is keyed on it.
+func FingerprintScenario(s *Scenario, opt ScenarioOptions) (string, error) {
+	return s.FingerprintRun(opt)
 }
 
 // Experiment-engine types: the shared orchestration layer every multi-run

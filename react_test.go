@@ -2,7 +2,9 @@ package react_test
 
 import (
 	"context"
+	"encoding/json"
 	"math"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -186,5 +188,69 @@ func TestScenarioAPI(t *testing.T) {
 	}
 	if _, err := react.ParseScenario([]byte(`{"name":"bad","trace":{"gen":"nope"},"workload":{"bench":"DE"},"buffers":[{"preset":"770 µF"}]}`)); err == nil {
 		t.Error("unknown generator must fail validation")
+	}
+}
+
+// TestServiceFacade boots an in-process reactd, dials it through the
+// exported client surface, and exercises Run, RunAsync and the
+// content-addressed cache end to end.
+func TestServiceFacade(t *testing.T) {
+	srv := react.NewService(react.ServiceConfig{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	client, err := react.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	spec := json.RawMessage(`{
+		"name": "facade-smoke",
+		"trace": {"gen": "steady", "mean": 0.01, "duration": 30},
+		"workload": {"bench": "DE"},
+		"buffers": [{"preset": "770 µF"}, {"preset": "REACT"}]
+	}`)
+	st, err := client.Run(ctx, react.RunRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := st.Result("REACT")
+	if !ok || res.Metrics["blocks"] <= 0 {
+		t.Fatalf("no REACT result in %+v", st.Cells)
+	}
+
+	// The identical submission is served from the cache without simulating.
+	rr, err := client.RunAsync(ctx, react.RunRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Submitted.Cached {
+		t.Error("identical resubmission must be a cache hit")
+	}
+	again, err := rr.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2, _ := again.Result("REACT"); r2.Metrics["blocks"] != res.Metrics["blocks"] {
+		t.Error("cached result diverged from the original")
+	}
+
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheMisses != 1 || m.SimsCompleted != 2 {
+		t.Errorf("misses %d sims %d, want 1 simulation of 2 cells total", m.CacheMisses, m.SimsCompleted)
+	}
+
+	infos, err := client.Scenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(react.Scenarios()) {
+		t.Errorf("service lists %d scenarios, registry has %d", len(infos), len(react.Scenarios()))
 	}
 }
