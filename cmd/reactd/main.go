@@ -4,21 +4,32 @@
 //
 // Usage:
 //
-//	reactd [-addr :8080] [-workers n] [-cache n]
+//	reactd [-addr :8080] [-workers n] [-cache n] [-cache-cells n]
 //
 // Endpoints:
 //
-//	GET    /scenarios  list the registry (names, buffers, fingerprints)
-//	POST   /runs       submit: {"scenario":"energy-attack"} or {"spec":{...}}
-//	GET    /runs/{id}  poll status and (partial) per-buffer results
-//	DELETE /runs/{id}  cancel an in-flight run / forget a finished one
-//	GET    /metrics    cache hit rate, queue depth, sims/sec
+//	GET    /scenarios    list the registry (names, buffers, fingerprints)
+//	POST   /runs         submit: {"scenario":"energy-attack"} or {"spec":{...}}
+//	GET    /runs/{id}    poll status and (partial) per-buffer results
+//	DELETE /runs/{id}    cancel an in-flight run / forget a finished one
+//	POST   /sweeps       submit: {"scenario":"...","seed_from":1,"seed_to":50,
+//	                     "dts":[...],"buffers":[...]} (or an inline "spec")
+//	GET    /sweeps/{id}  poll per-cell results and the per-axis summary
+//	DELETE /sweeps/{id}  cancel an in-flight sweep / forget a finished one
+//	GET    /metrics      cell/run cache hit rates, queue depth, sims/sec
 //
-// A submission returns a run id immediately (HTTP 202), or the cached
-// result (HTTP 200) when an identical run — same scenario physics, seed
-// and timestep — already completed. Concurrent identical submissions
-// coalesce into a single simulation. SIGINT/SIGTERM drain in-flight work
-// before exit.
+// The cache is cell-granular: the unit of cached work is one buffer of one
+// spec under a resolved seed and timestep (its content address). A run or
+// sweep is assembled from shared cells, so a submission that overlaps
+// anything already simulated — or simulating — reuses those cells and
+// pays only for the genuinely new ones: a 50-seed sweep after a 10-seed
+// sweep simulates 40 seeds, and a plain run whose cells a sweep already
+// covered performs no work at all. A submission returns its id immediately
+// (HTTP 202), or the completed view (HTTP 200) when every cell was served
+// from the cache. Sweeps report per-cell metrics plus across-seed
+// mean ± std summary rows per (buffer, dt) group, bit-identical to
+// `reactsim -seeds` for the same spec and seeds. SIGINT/SIGTERM drain
+// in-flight work before exit.
 package main
 
 import (
@@ -37,13 +48,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", service.DefaultCacheRuns, "completed runs kept in the result cache")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", service.DefaultCacheRuns, "completed run/sweep views kept for polling and whole-run dedup")
+		cacheCells = flag.Int("cache-cells", service.DefaultCacheCells, "completed cells kept in the content-addressed result cache")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{Workers: *workers, CacheRuns: *cache})
+	srv := service.New(service.Config{Workers: *workers, CacheRuns: *cache, CacheCells: *cacheCells})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -51,7 +63,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "reactd: serving on %s (workers %d, cache %d runs)\n", *addr, *workers, *cache)
+	fmt.Fprintf(os.Stderr, "reactd: serving on %s (workers %d, cache %d views / %d cells)\n", *addr, *workers, *cache, *cacheCells)
 
 	select {
 	case err := <-errCh:

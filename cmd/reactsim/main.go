@@ -8,6 +8,7 @@
 //	reactsim -list
 //	reactsim -scenario name [-seed n] [-workers n] [-json]
 //	reactsim -scenario-file spec.json [-seed n] [-workers n] [-json]
+//	reactsim -remote http://host:port -scenario name [-seed n|-seeds n] [-dt s] [-json]
 //
 // With -seeds n (n > 1) it runs a multi-seed sweep through the shared
 // experiment engine — n independent instances of the scenario on seeds
@@ -19,6 +20,14 @@
 // over its whole buffer set, and -scenario-file runs a JSON scenario spec,
 // so new workloads are runnable without recompiling. -json emits the
 // scenario results as machine-readable JSON.
+//
+// -remote targets a reactd daemon instead of simulating locally: a
+// scenario run becomes POST /runs and -seeds n becomes POST /sweeps over
+// seeds 1..n, both served from the daemon's content-addressed cell cache —
+// repeated and overlapping submissions reuse already-simulated cells. The
+// across-seed statistics a remote sweep reports are bit-identical to the
+// local -seeds output for the same spec and seeds (the daemon aggregates
+// with the same code).
 //
 // Buffers: "770 µF", "10 mF", "17 mF", "Morphy", "REACT", plus the
 // related-work extensions "Capybara" and "Dewdrop".
@@ -32,13 +41,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"sort"
 
 	"react/internal/experiments"
 	"react/internal/runner"
 	"react/internal/scenario"
+	"react/internal/service"
 	"react/internal/sim"
 	"react/internal/trace"
 )
@@ -82,6 +91,7 @@ func main() {
 		scenFile  = flag.String("scenario-file", "", "run a JSON scenario spec (overrides -scenario)")
 		workers   = flag.Int("workers", 0, "bound the scenario worker pool (0 = GOMAXPROCS)")
 		jsonOut   = flag.Bool("json", false, "emit scenario results as JSON (with -scenario/-scenario-file)")
+		remote    = flag.String("remote", "", "target a reactd daemon (http://host:port) instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -94,6 +104,35 @@ func main() {
 	// single-cell-only flags must not be silently ignored in scenario mode.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *remote != "" {
+		if *scenName == "" && *scenFile == "" {
+			fmt.Fprintln(os.Stderr, "reactsim: -remote needs -scenario or -scenario-file (the daemon serves scenario specs)")
+			os.Exit(2)
+		}
+		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "workers"} {
+			if explicit[bad] {
+				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to remote runs (the daemon owns the simulation)\n", bad)
+				os.Exit(2)
+			}
+		}
+		if explicit["seed"] && *seeds > 1 {
+			fmt.Fprintln(os.Stderr, "reactsim: set -seed or -seeds, not both")
+			os.Exit(2)
+		}
+		seedOverride, dtOverride := uint64(0), 0.0
+		if explicit["seed"] {
+			seedOverride = *seed
+		}
+		if explicit["dt"] {
+			dtOverride = *dt
+		}
+		if err := runRemote(*remote, *scenName, *scenFile, seedOverride, dtOverride, *seeds, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scenName != "" || *scenFile != "" {
 		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "seeds", "record", "v"} {
@@ -376,50 +415,128 @@ func sweepSeeds(traceName, traceFile, bufName, bench string, n int, dt float64) 
 	}
 
 	fmt.Printf("sweep    %s / %s / %s over %d seeds\n", label, bufName, bench, n)
-	meanStd := func(get func(sim.Result) float64) (mean, std float64) {
-		var sum, sumSq float64
-		for _, r := range results {
-			v := get(r)
-			sum += v
-			sumSq += v * v
-		}
-		mean = sum / float64(n)
-		if v := sumSq/float64(n) - mean*mean; v > 0 {
-			std = math.Sqrt(v)
-		}
-		return mean, std
-	}
+	printSeedSummary(scenario.AggregateSeeds(results))
+	return nil
+}
+
+// printSeedSummary reports one cell's across-seed statistics — the shared
+// scenario.AggregateSeeds shape, which remote sweeps also report, so local
+// and remote sweep output agree to the last digit.
+func printSeedSummary(agg scenario.SeedSummary) {
 	// Latency statistics cover only the runs that started: -1 is the
 	// "never reached the enable voltage" sentinel, not a time.
-	started := 0
-	var latSum, latSumSq float64
-	for _, r := range results {
-		if r.Latency >= 0 {
-			started++
-			latSum += r.Latency
-			latSumSq += r.Latency * r.Latency
-		}
-	}
-	if started == 0 {
-		fmt.Printf("latency  never started (0/%d seeds)\n", n)
+	if agg.Started == 0 {
+		fmt.Printf("latency  never started (0/%d seeds)\n", agg.Seeds)
 	} else {
-		mean := latSum / float64(started)
-		var std float64
-		if v := latSumSq/float64(started) - mean*mean; v > 0 {
-			std = math.Sqrt(v)
-		}
-		fmt.Printf("latency  %.2f ± %.2f s (started %d/%d seeds)\n", mean, std, started, n)
+		fmt.Printf("latency  %.2f ± %.2f s (started %d/%d seeds)\n", agg.Latency.Mean, agg.Latency.Std, agg.Started, agg.Seeds)
 	}
-	duty, dutyStd := meanStd(func(r sim.Result) float64 { return r.OnFraction() })
-	fmt.Printf("duty     %.1f ± %.1f %%\n", duty*100, dutyStd*100)
-	keys := make([]string, 0, len(results[0].Metrics))
-	for k := range results[0].Metrics {
+	fmt.Printf("duty     %.1f ± %.1f %%\n", agg.Duty.Mean*100, agg.Duty.Std*100)
+	keys := make([]string, 0, len(agg.Metrics))
+	for k := range agg.Metrics {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		m, s := meanStd(func(r sim.Result) float64 { return r.Metrics[k] })
-		fmt.Printf("metric   %-10s %.1f ± %.1f\n", k, m, s)
+		fmt.Printf("metric   %-10s %.1f ± %.1f\n", k, agg.Metrics[k].Mean, agg.Metrics[k].Std)
+	}
+}
+
+// runRemote targets a reactd daemon: a scenario run becomes POST /runs and
+// -seeds n becomes POST /sweeps over seeds 1..n.
+func runRemote(addr, name, file string, seed uint64, dt float64, seeds int, jsonOut bool) error {
+	var inline json.RawMessage
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		// Validate locally for a friendly error before shipping the bytes.
+		if _, err := scenario.ParseSpec(data); err != nil {
+			return err
+		}
+		inline = data
+		name = ""
+	}
+	client, err := service.Dial(addr)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	if seeds > 1 {
+		req := service.SweepRequest{Scenario: name, Spec: inline, SeedFrom: 1, SeedTo: uint64(seeds)}
+		if dt > 0 {
+			req.DTs = []float64{dt}
+		}
+		st, err := client.Sweep(ctx, req)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(st)
+		}
+		fmt.Printf("sweep    %s over seeds 1..%d (remote %s: %d cached, %d coalesced, %d simulated)\n",
+			st.Scenario, seeds, st.ID, st.CachedCells, st.CoalescedCells, st.NewCells)
+		for _, row := range st.Summary {
+			fmt.Printf("\nbuffer   %s (dt %g s)\n", row.Buffer, row.DT)
+			printSeedSummary(row.SeedSummary)
+		}
+		return nil
+	}
+
+	st, err := client.Run(ctx, service.RunRequest{Scenario: name, Spec: inline, Seed: seed, DT: dt})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	disposition := "simulated"
+	if st.Cached {
+		disposition = "served from cache"
+	} else if st.Coalesced {
+		disposition = "coalesced with in-flight work"
+	}
+	fmt.Printf("scenario %s (remote %s, %s)\n", st.Scenario, st.ID, disposition)
+	fmt.Printf("seed     %d\n\n", st.Seed)
+
+	keySet := map[string]bool{}
+	for _, cell := range st.Cells {
+		if cell.Result != nil {
+			for k := range cell.Result.Metrics {
+				keySet[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-14s %9s %7s %7s", "buffer", "latency", "duty%", "cycles")
+	for _, k := range keys {
+		fmt.Printf(" %10s", k)
+	}
+	fmt.Println()
+	for _, cell := range st.Cells {
+		if cell.Result == nil {
+			fmt.Printf("%-14s %9s\n", cell.Buffer, "-")
+			continue
+		}
+		r := cell.Result
+		lat := "-"
+		if r.Latency >= 0 {
+			lat = fmt.Sprintf("%.2f", r.Latency)
+		}
+		fmt.Printf("%-14s %9s %7.1f %7d", cell.Buffer, lat, r.Duty*100, r.Cycles)
+		for _, k := range keys {
+			fmt.Printf(" %10.0f", r.Metrics[k])
+		}
+		fmt.Println()
 	}
 	return nil
 }

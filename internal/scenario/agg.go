@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"math"
+
+	"react/internal/sim"
+)
+
+// This file is the one implementation of across-seed aggregation: the mean
+// and population standard deviation per metric that `reactsim -seeds`
+// prints and the service's sweep resource reports. Both consumers call
+// AggregateSeeds on the same per-seed sim.Results, so a remote sweep's
+// summary rows are bit-identical to a local sweep of the same spec and
+// seeds — there is no second copy of the math to drift.
+
+// MeanStd is one aggregated statistic: the across-seed mean and population
+// standard deviation.
+type MeanStd struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+// meanStd computes the population mean ± std over vs, guarding the
+// negative-variance rounding corner the same way the CLI always has.
+func meanStd(vs []float64) MeanStd {
+	n := float64(len(vs))
+	if n == 0 {
+		return MeanStd{}
+	}
+	var sum, sumSq float64
+	for _, v := range vs {
+		sum += v
+		sumSq += v * v
+	}
+	m := MeanStd{Mean: sum / n}
+	if v := sumSq/n - m.Mean*m.Mean; v > 0 {
+		m.Std = math.Sqrt(v)
+	}
+	return m
+}
+
+// SeedSummary aggregates one cell's results across seeds.
+type SeedSummary struct {
+	// Seeds is how many per-seed results were aggregated.
+	Seeds int `json:"seeds"`
+	// Started counts the seeds whose run reached the enable voltage;
+	// Latency covers only those (-1 is the "never started" sentinel, not a
+	// time), and is the zero value when no seed started.
+	Started int     `json:"started"`
+	Latency MeanStd `json:"latency_s"`
+	// Duty is the on-time fraction over every seed.
+	Duty MeanStd `json:"duty"`
+	// Metrics aggregates each workload metric over every seed; the key set
+	// is the first result's, matching the CLI's sweep report.
+	Metrics map[string]MeanStd `json:"metrics"`
+}
+
+// AggregateSeeds summarizes a multi-seed sweep of one cell: the statistics
+// `reactsim -seeds` reports, computed from the per-seed results in seed
+// order.
+func AggregateSeeds(results []sim.Result) SeedSummary {
+	s := SeedSummary{Seeds: len(results), Metrics: map[string]MeanStd{}}
+	if len(results) == 0 {
+		return s
+	}
+	var lat, duty []float64
+	for _, r := range results {
+		if r.Latency >= 0 {
+			lat = append(lat, r.Latency)
+		}
+		duty = append(duty, r.OnFraction())
+	}
+	s.Started = len(lat)
+	s.Latency = meanStd(lat)
+	s.Duty = meanStd(duty)
+	for k := range results[0].Metrics {
+		vs := make([]float64, len(results))
+		for i, r := range results {
+			vs[i] = r.Metrics[k]
+		}
+		s.Metrics[k] = meanStd(vs)
+	}
+	return s
+}

@@ -84,6 +84,25 @@ func (s *Spec) Fingerprint() (string, error) {
 // before encoding — and option defaults hash identically to their explicit
 // values.
 func (s *Spec) FingerprintRun(opt RunOptions) (string, error) {
+	return s.fingerprintBuffers(opt, s.Buffers)
+}
+
+// FingerprintCell returns the content address of buffer i's cell under opt:
+// the canonical physics (trace, converter, device, workload, resolved
+// seed/timestep/tail cap) plus that one buffer. A cell's address equals the
+// run address of the equivalent single-buffer spec, so a one-buffer run IS
+// its cell — which is what lets the service cache share cells between runs
+// and sweeps that overlap on any buffer.
+func (s *Spec) FingerprintCell(i int, opt RunOptions) (string, error) {
+	if i < 0 || i >= len(s.Buffers) {
+		return "", fmt.Errorf("scenario %q: buffer index %d out of range", s.Name, i)
+	}
+	return s.fingerprintBuffers(opt, s.Buffers[i:i+1])
+}
+
+// fingerprintBuffers canonicalizes the spec's physics against opt with the
+// given buffer subset and hashes the encoding.
+func (s *Spec) fingerprintBuffers(opt RunOptions, buffers []BufferSpec) (string, error) {
 	c := canonicalRun{
 		Converter: s.Converter,
 		Device:    s.Device,
@@ -105,8 +124,8 @@ func (s *Spec) FingerprintRun(opt RunOptions) (string, error) {
 	if c.TailCap == 0 {
 		c.TailCap = 600
 	}
-	c.Buffers = make([]BufferSpec, len(s.Buffers))
-	for i, bs := range s.Buffers {
+	c.Buffers = make([]BufferSpec, len(buffers))
+	for i, bs := range buffers {
 		if bs.New != nil {
 			return "", fmt.Errorf("scenario %q: buffer %q: custom constructor buffers have no canonical encoding", s.Name, bs.DisplayName())
 		}

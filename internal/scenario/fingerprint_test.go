@@ -191,6 +191,73 @@ func TestFingerprintRejectsCustomConstructors(t *testing.T) {
 	}
 }
 
+// TestFingerprintCell pins the cell-address contract the service's
+// cell-granular cache is built on: a cell's address is the run address of
+// the equivalent single-buffer spec, distinct per buffer, and shared
+// between any two specs whose physics agree on that buffer.
+func TestFingerprintCell(t *testing.T) {
+	s := fpSpec() // buffers: 770 µF, REACT
+	c0, err := s.FingerprintCell(0, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.FingerprintCell(1, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 == c1 {
+		t.Error("different buffers must have different cell addresses")
+	}
+
+	// A single-buffer run IS its cell.
+	solo := fpSpec()
+	solo.Buffers = scenario.Presets("REACT")
+	if fp := mustFP(t, solo, scenario.RunOptions{}); fp != c1 {
+		t.Error("a one-buffer run must share its cell's address")
+	}
+
+	// Two specs with the same physics but different buffer sets share the
+	// overlapping cell — the sharing the service cache exploits.
+	other := fpSpec()
+	other.Buffers = scenario.Presets("Morphy", "REACT", "770 µF")
+	oc, err := other.FingerprintCell(1, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != c1 {
+		t.Error("overlapping buffers across specs must share a cell address")
+	}
+
+	// Options participate exactly as they do in run addresses.
+	seeded, err := s.FingerprintCell(1, scenario.RunOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded == c1 {
+		t.Error("the seed must separate cell addresses")
+	}
+	// Seed 1 spelled out resolves to the default address.
+	explicit, err := s.FingerprintCell(1, scenario.RunOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit != c1 {
+		t.Error("the explicit default seed must share the defaulted cell address")
+	}
+
+	if _, err := s.FingerprintCell(2, scenario.RunOptions{}); err == nil {
+		t.Error("an out-of-range buffer index must not fingerprint")
+	}
+	custom := fpSpec()
+	custom.Buffers = []scenario.BufferSpec{{
+		Label: "custom",
+		New:   func() buffer.Buffer { return buffer.NewStatic(buffer.StaticConfig{C: 1e-3, VMax: 3.6}) },
+	}}
+	if _, err := custom.FingerprintCell(0, scenario.RunOptions{}); err == nil {
+		t.Error("a Go-only constructor cell has no canonical encoding and must not fingerprint")
+	}
+}
+
 func TestRegisteredScenariosAllFingerprint(t *testing.T) {
 	seen := map[string]string{}
 	for _, s := range scenario.All() {

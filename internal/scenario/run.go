@@ -26,6 +26,20 @@ type RunOptions struct {
 	RecordDT float64
 }
 
+// Validate checks the options' timing overrides: DT and RecordDT must be
+// finite and non-negative (zero means "use the spec's default" / "don't
+// record"). The check exists because NaN passes any `< 0` comparison and
+// would otherwise reach sim.Run.
+func (o RunOptions) Validate() error {
+	if !isFiniteNonNegative(o.DT) {
+		return fmt.Errorf("run options: dt must be finite and non-negative (zero keeps the spec's timestep)")
+	}
+	if !isFiniteNonNegative(o.RecordDT) {
+		return fmt.Errorf("run options: record dt must be finite and non-negative (zero disables recording)")
+	}
+	return nil
+}
+
 // seed resolves the effective seed for a spec.
 func (o RunOptions) seed(s *Spec) uint64 {
 	switch {
@@ -62,6 +76,9 @@ func (r *Run) Result(buffer string) (sim.Result, bool) {
 func (s *Spec) Cell(i int, opt RunOptions) (sim.Result, error) {
 	if i < 0 || i >= len(s.Buffers) {
 		return sim.Result{}, fmt.Errorf("scenario %s: buffer index %d out of range", s.Name, i)
+	}
+	if err := opt.Validate(); err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	seed := opt.seed(s)
 	tr, err := s.Trace.Build(seed)

@@ -15,6 +15,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"react/internal/buffer"
 	"react/internal/capybara"
@@ -464,10 +465,20 @@ func (s *Spec) Validate() error {
 		}
 		seen[name] = true
 	}
-	if s.DT < 0 || s.TailCap < 0 {
-		return fmt.Errorf("scenario %q: negative timing parameters", s.Name)
+	// NaN fails every comparison, so a plain `< 0` check would wave a
+	// NaN timestep straight through to sim.Run; demand finite-and-non-
+	// negative explicitly.
+	if !isFiniteNonNegative(s.DT) || !isFiniteNonNegative(s.TailCap) {
+		return fmt.Errorf("scenario %q: dt and tail_cap must be finite and non-negative (zero selects the default)", s.Name)
 	}
 	return nil
+}
+
+// isFiniteNonNegative reports whether x is a usable timing parameter: a
+// real, non-negative number. Written so NaN (which fails all comparisons)
+// lands on the rejecting side.
+func isFiniteNonNegative(x float64) bool {
+	return x >= 0 && !math.IsInf(x, 1)
 }
 
 // Clone returns a deep-enough copy: mutating the clone's slices and specs

@@ -179,3 +179,85 @@ func (r *RemoteRun) finish(st *RunStatus) (*RunStatus, error) {
 	}
 	return st, fmt.Errorf("service: run %s %s: %s", st.ID, st.Status, st.Error)
 }
+
+// SweepAsync submits a sweep and returns a handle immediately; the server
+// fans the seed × dt × buffer grid out in the background, sharing cells
+// with the cache and any overlapping work in flight. Poll or Wait the
+// handle for per-cell results and the final summary.
+func (c *Client) SweepAsync(ctx context.Context, req SweepRequest) (*RemoteSweep, error) {
+	var st SweepStatus
+	if err := c.do(ctx, http.MethodPost, "/sweeps", req, &st); err != nil {
+		return nil, err
+	}
+	return &RemoteSweep{c: c, ID: st.ID, Submitted: &st}, nil
+}
+
+// Sweep submits and waits: the synchronous convenience over SweepAsync. A
+// failed or cancelled sweep returns the final status alongside an error.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepStatus, error) {
+	rs, err := c.SweepAsync(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Wait(ctx)
+}
+
+// RemoteSweep is a submitted sweep's handle.
+type RemoteSweep struct {
+	c  *Client
+	ID string
+	// Submitted is the submission response. Its CachedCells/
+	// CoalescedCells/NewCells accounting is a property of the submission
+	// and immutable, so later polls repeat the same values.
+	Submitted *SweepStatus
+}
+
+// Poll fetches the sweep's current status; completed cells carry results
+// while the rest are still simulating, and the summary rows appear once
+// the sweep is done.
+func (r *RemoteSweep) Poll(ctx context.Context) (*SweepStatus, error) {
+	var st SweepStatus
+	if err := r.c.do(ctx, http.MethodGet, "/sweeps/"+url.PathEscape(r.ID), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel asks the server to stop the sweep. Cells shared with other live
+// work keep simulating; cells only this sweep wanted are dropped.
+func (r *RemoteSweep) Cancel(ctx context.Context) error {
+	return r.c.do(ctx, http.MethodDelete, "/sweeps/"+url.PathEscape(r.ID), nil, nil)
+}
+
+// Wait polls until the sweep reaches a terminal state. A failed or
+// cancelled sweep returns its final status alongside an error.
+func (r *RemoteSweep) Wait(ctx context.Context) (*SweepStatus, error) {
+	if r.Submitted != nil && Terminal(r.Submitted.Status) {
+		return r.finish(r.Submitted)
+	}
+	delay := 10 * time.Millisecond
+	for {
+		st, err := r.Poll(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(st.Status) {
+			return r.finish(st)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < 500*time.Millisecond {
+			delay += delay / 2
+		}
+	}
+}
+
+func (r *RemoteSweep) finish(st *SweepStatus) (*SweepStatus, error) {
+	if st.Status == StatusDone {
+		return st, nil
+	}
+	return st, fmt.Errorf("service: sweep %s %s: %s", st.ID, st.Status, st.Error)
+}

@@ -2,21 +2,26 @@
 // an HTTP/JSON API over the scenario registry and the experiment engine,
 // with a content-addressed, single-flight result cache.
 //
-// Every submission is resolved to a canonical fingerprint
-// (scenario.Spec.FingerprintRun), and the cache coalesces work at that
-// address: a repeat of a completed run is served in O(1), and concurrent
-// identical submissions attach to the one in-flight run instead of
-// simulating twice. Runs execute asynchronously — a submit returns a run
-// id immediately, cells fan out per buffer over a bounded worker pool
-// (runner.Submit), and partial results are visible while the run drains.
+// The cache operates at cell granularity — one buffer of one spec under
+// resolved seed/timestep options (scenario.Spec.FingerprintCell). Runs and
+// sweeps are views assembled from shared cell entries: a repeat of a
+// completed cell is served in O(1), concurrent submissions that overlap on
+// any cell attach to the one in-flight simulation instead of duplicating
+// it, and a run submitted while a sweep covering its cells is in flight
+// coalesces per cell. Work executes asynchronously — a submit returns an
+// id immediately, fresh cells fan out over a bounded global semaphore, and
+// partial results are visible while a view drains.
 //
 // Endpoints:
 //
-//	GET    /scenarios  registry listing with fingerprints
-//	POST   /runs       submit a run (named scenario or inline spec)
-//	GET    /runs/{id}  poll status and (partial) results
-//	DELETE /runs/{id}  cancel an in-flight run / forget a finished one
-//	GET    /metrics    cache hit rate, queue depth, sims/sec
+//	GET    /scenarios    registry listing with fingerprints
+//	POST   /runs         submit a run (named scenario or inline spec)
+//	GET    /runs/{id}    poll status and (partial) results
+//	DELETE /runs/{id}    cancel an in-flight run / forget a finished one
+//	POST   /sweeps       submit a sweep: spec × seed list/range × dt axis × buffer subset
+//	GET    /sweeps/{id}  poll per-cell results and the per-axis summary
+//	DELETE /sweeps/{id}  cancel an in-flight sweep / forget a finished one
+//	GET    /metrics      cell/run cache hit rates, queue depth, sims/sec
 package service
 
 import (
@@ -31,79 +36,139 @@ import (
 	"sync/atomic"
 	"time"
 
-	"react/internal/runner"
 	"react/internal/scenario"
 	"react/internal/sim"
 )
 
-// DefaultCacheRuns bounds the finished runs kept for reuse when
+// DefaultCacheRuns bounds the finished run/sweep views kept for reuse when
 // Config.CacheRuns is zero.
 const DefaultCacheRuns = 64
 
+// DefaultCacheCells bounds the finished cells kept for content-addressed
+// reuse when Config.CacheCells is zero. Cells are the unit of cached work;
+// a typical view holds four to six of them.
+const DefaultCacheCells = 512
+
 // Config tunes a Server.
 type Config struct {
-	// Workers bounds concurrently simulating cells across all runs
-	// (0 = GOMAXPROCS).
+	// Workers bounds concurrently simulating cells across all runs and
+	// sweeps (0 = GOMAXPROCS).
 	Workers int
-	// CacheRuns bounds the finished runs kept for content-addressed reuse
-	// (0 = DefaultCacheRuns). In-flight runs are never evicted.
+	// CacheRuns bounds the finished run/sweep views kept for polling and
+	// whole-run deduplication (0 = DefaultCacheRuns). In-flight views are
+	// never evicted. Evicting a view does not evict its cells.
 	CacheRuns int
+	// CacheCells bounds the finished cells kept for content-addressed
+	// reuse (0 = DefaultCacheCells). In-flight cells are never evicted.
+	CacheCells int
 }
 
 // Server implements the service over http.Handler. Create with New, shut
 // down with Close.
 type Server struct {
-	workers   int
-	cacheRuns int
-	mux       *http.ServeMux
-	ctx       context.Context
-	shutdown  context.CancelFunc
-	sem       chan struct{}
-	jobs      sync.WaitGroup
-	start     time.Time
+	workers    int
+	cacheRuns  int
+	cacheCells int
+	mux        *http.ServeMux
+	ctx        context.Context
+	shutdown   context.CancelFunc
+	sem        chan struct{}
+	jobs       sync.WaitGroup
+	start      time.Time
 
 	// Monotonic counters (atomic: bumped from cell goroutines).
-	submitted, hits, coalesced, misses, evictions atomic.Uint64
-	cellsQueued, cellsDone                        atomic.Uint64 // finished cells of any outcome (queue depth)
-	simsOK, simsFailed                            atomic.Uint64 // actual simulations: succeeded / errored
+	submitted, hits, coalesced, misses, evictions   atomic.Uint64 // run submissions
+	sweeps                                          atomic.Uint64 // sweep submissions
+	cellHits, cellCoalesced, cellMisses, cellEvicts atomic.Uint64 // cell attachments
+	cellsQueued, cellsDone                          atomic.Uint64 // scheduled cells of any outcome (queue depth)
+	simsOK, simsFailed                              atomic.Uint64 // actual simulations: succeeded / errored
 
-	// mu guards the run stores. Lock order: mu before run.mu.
-	mu   sync.Mutex
-	seq  int
-	runs map[string]*run // every tracked run, by id
-	byFP map[string]*run // single-flight index: running or done runs
-	lru  *list.List      // cached done runs, most recently used first
-	junk *list.List      // failed/cancelled runs kept briefly for polling
+	// mu guards the stores below and every cell/view list-membership and
+	// refcount field. Lock order: mu before view.mu.
+	mu      sync.Mutex
+	seq     int
+	views   map[string]*view // every tracked run and sweep, by id
+	byFP    map[string]*view // whole-run single-flight index: running or done runs
+	cells   map[string]*cell // cell single-flight index: running or cached cells
+	cellLRU *list.List       // cached done cells, most recently used first
+	viewLRU *list.List       // done views kept for polling/dedup, MRU first
+	junk    *list.List       // failed/cancelled views kept briefly for polling
 }
 
-// junkRuns bounds the failed/cancelled runs kept around for polling. They
-// are tracked separately from the result cache so that non-reusable runs
-// never evict reusable cached results.
+// junkRuns bounds the failed/cancelled views kept around for polling. They
+// are tracked separately from the done views so that non-reusable views
+// never evict reusable ones.
 const junkRuns = 32
 
-// run is one tracked submission's state.
-type run struct {
+// maxSweepCells bounds one sweep's fan-out (seeds × dts × buffers).
+const maxSweepCells = 4096
+
+// cell is one content-addressed unit of simulation work: a single buffer
+// of a spec under resolved options. Cells are shared between every view
+// that needs them; res/err are immutable once done is closed.
+type cell struct {
+	fp     string // "" when the cell has no canonical encoding
+	buffer string // display name
+	cancel context.CancelFunc
+
+	// refs counts the live (non-terminal) views attached; a running cell
+	// whose refs drop to zero is cancelled. Guarded by Server.mu, like the
+	// LRU slot below.
+	refs  int
+	elem  *list.Element
+	inLRU bool
+
+	done chan struct{} // closed when terminal
+	res  sim.Result
+	err  string // "" = ok
+}
+
+// terminal reports whether the cell has finished (any outcome).
+func (c *cell) terminal() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cellKey labels one cell slot of a view with its axis coordinates.
+type cellKey struct {
+	Seed   uint64
+	DT     float64 // resolved timestep
+	Buffer string  // display name
+}
+
+// view is one tracked submission — a run or a sweep — assembled from
+// shared cells.
+type view struct {
 	id      string
-	fp      string // "" when the spec has no canonical encoding
+	kind    string // "run" or "sweep"
+	fp      string // whole-run fingerprint; "" for sweeps and uncacheable specs
 	spec    *scenario.Spec
 	opt     scenario.RunOptions
 	created time.Time
-	job     *runner.Job
-	elem    *list.Element // slot in home once terminal
-	home    *list.List    // the LRU (done) or junk (failed/cancelled) list
+	cells   []*cell
+	keys    []cellKey // index-parallel to cells
+
+	// Sweep axes, resolved at submission.
+	seeds   []uint64
+	dts     []float64
+	buffers []string
+
+	// Submission-time cache accounting (immutable after creation).
+	cachedCells, coalescedCells, newCells int
+
+	elem *list.Element // slot in home once terminal
+	home *list.List    // the viewLRU (done) or junk (failed/cancelled) list
 
 	mu       sync.Mutex
 	status   string
 	canceled bool
+	detached bool // cell refs already released
 	errMsg   string
 	finished time.Time
-	cells    []cellState
-}
-
-type cellState struct {
-	done bool
-	err  string
-	res  sim.Result
 }
 
 // New builds a ready-to-serve Server.
@@ -116,24 +181,34 @@ func New(cfg Config) *Server {
 	if cacheRuns <= 0 {
 		cacheRuns = DefaultCacheRuns
 	}
+	cacheCells := cfg.CacheCells
+	if cacheCells <= 0 {
+		cacheCells = DefaultCacheCells
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		workers:   workers,
-		cacheRuns: cacheRuns,
-		ctx:       ctx,
-		shutdown:  cancel,
-		sem:       make(chan struct{}, workers),
-		start:     time.Now(),
-		runs:      map[string]*run{},
-		byFP:      map[string]*run{},
-		lru:       list.New(),
-		junk:      list.New(),
+		workers:    workers,
+		cacheRuns:  cacheRuns,
+		cacheCells: cacheCells,
+		ctx:        ctx,
+		shutdown:   cancel,
+		sem:        make(chan struct{}, workers),
+		start:      time.Now(),
+		views:      map[string]*view{},
+		byFP:       map[string]*view{},
+		cells:      map[string]*cell{},
+		cellLRU:    list.New(),
+		viewLRU:    list.New(),
+		junk:       list.New(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
+	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.handleSweepDelete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
@@ -142,12 +217,278 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close cancels every in-flight run and waits for the workers to drain.
+// Close cancels every in-flight cell and waits for the workers to drain.
 // The HTTP listener (if any) is the caller's to shut down first.
 func (s *Server) Close() {
 	s.shutdown()
 	s.jobs.Wait()
 }
+
+// --- cell lifecycle ---
+
+// attachCell resolves one cell address against the single-flight index:
+// a cached cell is reused, an in-flight cell is joined, and a fresh cell
+// is scheduled. Called with s.mu held; the returned state is one of
+// cellCached / cellInFlight / cellFresh.
+const (
+	cellCached = iota
+	cellInFlight
+	cellFresh
+)
+
+func (s *Server) attachCell(spec *scenario.Spec, i int, opt scenario.RunOptions) (*cell, int) {
+	fp, _ := spec.FingerprintCell(i, opt)
+	if fp != "" {
+		if c := s.cells[fp]; c != nil {
+			c.refs++
+			if c.terminal() {
+				// Only successful cells stay in the index, so a terminal
+				// index entry is always servable.
+				s.cellHits.Add(1)
+				if c.inLRU {
+					s.cellLRU.MoveToFront(c.elem)
+				}
+				return c, cellCached
+			}
+			s.cellCoalesced.Add(1)
+			return c, cellInFlight
+		}
+	}
+	c := &cell{fp: fp, buffer: spec.Buffers[i].DisplayName(), refs: 1, done: make(chan struct{})}
+	if fp != "" {
+		s.cells[fp] = c
+	}
+	s.cellMisses.Add(1)
+	s.startCell(c, spec, i, opt)
+	return c, cellFresh
+}
+
+// startCell schedules a fresh cell over the global semaphore. Called with
+// s.mu held; returns immediately.
+func (s *Server) startCell(c *cell, spec *scenario.Spec, i int, opt scenario.RunOptions) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	c.cancel = cancel
+	s.cellsQueued.Add(1)
+	s.jobs.Add(1)
+	go func() {
+		defer s.jobs.Done()
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.finishCell(c, sim.Result{}, ctx.Err())
+			return
+		}
+		res, err := spec.Cell(i, opt)
+		<-s.sem
+		s.finishCell(c, res, err)
+	}()
+}
+
+// finishCell records a cell's outcome and manages the cell cache: a
+// successful cell still wanted by the index becomes a cached entry
+// (bounded by LRU eviction); failed and cancelled cells leave the index so
+// a resubmission simulates afresh.
+func (s *Server) finishCell(c *cell, res sim.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		c.res = res
+		s.simsOK.Add(1)
+		if c.fp != "" && s.cells[c.fp] == c {
+			c.elem = s.cellLRU.PushFront(c)
+			c.inLRU = true
+			for s.cellLRU.Len() > s.cacheCells {
+				s.evictCell(s.cellLRU.Back().Value.(*cell))
+				s.cellEvicts.Add(1)
+			}
+		}
+	case errors.Is(err, context.Canceled):
+		c.err = context.Canceled.Error()
+		s.dropCellIndex(c)
+	default:
+		c.err = err.Error()
+		s.simsFailed.Add(1)
+		s.dropCellIndex(c)
+	}
+	close(c.done)
+	s.cellsDone.Add(1)
+}
+
+// evictCell forgets a cached cell. Called with s.mu held.
+func (s *Server) evictCell(c *cell) {
+	s.cellLRU.Remove(c.elem)
+	c.inLRU = false
+	s.dropCellIndex(c)
+}
+
+// dropCellIndex removes a cell from the single-flight index if it still
+// owns its address. Called with s.mu held.
+func (s *Server) dropCellIndex(c *cell) {
+	if c.fp != "" && s.cells[c.fp] == c {
+		delete(s.cells, c.fp)
+	}
+}
+
+// releaseCells detaches a view from its cells: refcounts drop, and a
+// running cell nobody else wants is cancelled and leaves the index so new
+// identical submissions start fresh instead of attaching to a dying cell.
+// Called with s.mu held; idempotent.
+func (s *Server) releaseCells(v *view) {
+	if v.detached {
+		return
+	}
+	v.detached = true
+	for _, c := range v.cells {
+		c.refs--
+		if !c.terminal() && c.refs == 0 {
+			if c.cancel != nil {
+				c.cancel()
+			}
+			s.dropCellIndex(c)
+		}
+	}
+}
+
+// --- view lifecycle ---
+
+// newView allocates a tracked view and attaches its cells. Called with
+// s.mu held.
+func (s *Server) newView(kind, prefix string, spec *scenario.Spec, opt scenario.RunOptions) *view {
+	s.seq++
+	return &view{
+		id:      fmt.Sprintf("%s%06d", prefix, s.seq),
+		kind:    kind,
+		spec:    spec,
+		opt:     opt,
+		created: time.Now(),
+		status:  StatusRunning,
+	}
+}
+
+// addCell attaches one cell to the view and keeps the submission-time
+// cache accounting. Called with s.mu held.
+func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOptions, key cellKey) {
+	c, state := s.attachCell(spec, i, opt)
+	v.cells = append(v.cells, c)
+	v.keys = append(v.keys, key)
+	switch state {
+	case cellCached:
+		v.cachedCells++
+	case cellInFlight:
+		v.coalescedCells++
+	case cellFresh:
+		v.newCells++
+	}
+}
+
+// track publishes the view and arranges its finalization: synchronously
+// when every cell is already terminal (a pure cache hit), otherwise
+// through a waiter goroutine. Called with s.mu held.
+func (s *Server) track(v *view) {
+	s.views[v.id] = v
+	allDone := true
+	for _, c := range v.cells {
+		if !c.terminal() {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		s.finalizeLocked(v)
+		return
+	}
+	s.jobs.Add(1)
+	go func() {
+		defer s.jobs.Done()
+		for _, c := range v.cells {
+			<-c.done
+		}
+		s.mu.Lock()
+		s.finalizeLocked(v)
+		s.mu.Unlock()
+	}()
+}
+
+// finalizeLocked records a drained view's outcome and files it: done views
+// stay pollable and (for runs) addressable by fingerprint, bounded by LRU
+// eviction; failed and cancelled views leave the whole-run index and are
+// kept only briefly, never displacing reusable views. Called with s.mu
+// held.
+func (s *Server) finalizeLocked(v *view) {
+	s.releaseCells(v)
+	v.mu.Lock()
+	status, errMsg := StatusDone, ""
+	for _, c := range v.cells {
+		if c.err == "" {
+			continue
+		}
+		if c.err == context.Canceled.Error() {
+			status, errMsg = StatusCanceled, c.err
+		} else {
+			status, errMsg = StatusFailed, fmt.Sprintf("%s: %s", c.buffer, c.err)
+		}
+		break
+	}
+	if v.canceled {
+		status, errMsg = StatusCanceled, context.Canceled.Error()
+	}
+	v.status = status
+	v.errMsg = errMsg
+	v.finished = time.Now()
+	v.mu.Unlock()
+
+	if status == StatusDone {
+		v.home = s.viewLRU
+		v.elem = s.viewLRU.PushFront(v)
+		for s.viewLRU.Len() > s.cacheRuns {
+			s.evictView(s.viewLRU.Back().Value.(*view))
+			s.evictions.Add(1)
+		}
+		return
+	}
+	if v.fp != "" && s.byFP[v.fp] == v {
+		delete(s.byFP, v.fp)
+	}
+	v.home = s.junk
+	v.elem = s.junk.PushFront(v)
+	for s.junk.Len() > junkRuns {
+		s.evictView(s.junk.Back().Value.(*view))
+	}
+}
+
+// evictView forgets a terminal view (its cells stay cached). Called with
+// s.mu held.
+func (s *Server) evictView(v *view) {
+	v.home.Remove(v.elem)
+	delete(s.views, v.id)
+	if v.fp != "" && s.byFP[v.fp] == v {
+		delete(s.byFP, v.fp)
+	}
+}
+
+// forgetView is the explicit DELETE of a terminal view: the view is
+// dropped and so are its cached cells — except cells still referenced by
+// a live view (a sweep in flight over the same addresses), which must
+// survive. Called with s.mu held.
+func (s *Server) forgetView(v *view) {
+	s.evictView(v)
+	for _, c := range v.cells {
+		if c.inLRU && c.refs == 0 {
+			s.evictCell(c) // an explicit forget; not counted as a cache eviction
+		}
+	}
+}
+
+// getStatus snapshots a view's status under its own lock.
+func (v *view) getStatus() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.status
+}
+
+// --- run submission ---
 
 // Submit resolves, deduplicates and (if needed) launches a run, returning
 // its submission view. It is the Go-level core of POST /runs.
@@ -159,22 +500,20 @@ func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus
 
 	s.mu.Lock()
 	if fp != "" {
-		if r := s.byFP[fp]; r != nil {
-			r.mu.Lock()
-			status := r.status
-			r.mu.Unlock()
+		if v := s.byFP[fp]; v != nil {
+			status := v.getStatus()
 			if status == StatusDone {
 				s.hits.Add(1)
-				s.lru.MoveToFront(r.elem)
+				s.viewLRU.MoveToFront(v.elem)
 				s.mu.Unlock()
-				st := s.view(r)
+				st := s.runStatus(v)
 				st.Cached = true
 				return st
 			}
 			if status == StatusRunning {
 				s.coalesced.Add(1)
 				s.mu.Unlock()
-				st := s.view(r)
+				st := s.runStatus(v)
 				st.Coalesced = true
 				return st
 			}
@@ -182,153 +521,280 @@ func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus
 			// through and replace it.
 		}
 	}
-	s.misses.Add(1)
-	s.seq++
-	r := &run{
-		id:      fmt.Sprintf("r%06d", s.seq),
-		fp:      fp,
-		spec:    spec,
-		opt:     opt,
-		created: time.Now(),
-		status:  StatusRunning,
-		cells:   make([]cellState, len(spec.Buffers)),
+	v := s.newView("run", "r", spec, opt)
+	v.fp = fp
+	seed := ResolveSeed(spec, opt.Seed)
+	for i := range spec.Buffers {
+		s.addCell(v, spec, i, opt, cellKey{Seed: seed, DT: resolveDT(spec, opt.DT), Buffer: spec.Buffers[i].DisplayName()})
 	}
-	s.runs[r.id] = r
-	if fp != "" {
-		s.byFP[fp] = r
-	}
-	s.launch(r)
-	s.mu.Unlock()
-	return s.view(r)
-}
-
-// launch fans the run's cells out over the shared pool. Called with s.mu
-// held; returns immediately.
-func (s *Server) launch(r *run) {
-	n := len(r.spec.Buffers)
-	s.cellsQueued.Add(uint64(n))
-	r.job = runner.Submit(s.ctx, &runner.Runner{Workers: n}, n, func(ctx context.Context, i int) error {
-		// The per-run pool admits every cell; the semaphore is the global
-		// concurrency bound across runs.
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			s.cellsDone.Add(1)
-			return ctx.Err()
-		}
-		defer func() { <-s.sem }()
-		res, err := r.spec.Cell(i, r.opt)
-		r.mu.Lock()
-		if err != nil {
-			r.cells[i] = cellState{done: true, err: err.Error()}
-		} else {
-			r.cells[i] = cellState{done: true, res: res}
-		}
-		r.mu.Unlock()
-		s.cellsDone.Add(1)
-		if err != nil {
-			s.simsFailed.Add(1)
-			return fmt.Errorf("%s: %w", r.spec.Buffers[i].DisplayName(), err)
-		}
-		s.simsOK.Add(1)
-		return nil
-	})
-	s.jobs.Add(1)
-	go func() {
-		defer s.jobs.Done()
-		err := r.job.Wait()
-		s.finalize(r, err)
-	}()
-}
-
-// finalize records a drained run's outcome and manages the cache: done
-// runs stay addressable by fingerprint (bounded by LRU eviction), failed
-// and cancelled runs leave the single-flight index so a resubmission
-// simulates afresh.
-func (s *Server) finalize(r *run, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r.mu.Lock()
+	// The submission's cache disposition: a run with no fresh cells was
+	// served entirely from shared cells — from the cache when nothing is
+	// in flight, coalesced otherwise.
 	switch {
-	case err == nil:
-		r.status = StatusDone
-	case errors.Is(err, context.Canceled) || r.canceled:
-		r.status = StatusCanceled
-		r.errMsg = context.Canceled.Error()
+	case v.newCells > 0:
+		s.misses.Add(1)
+	case v.coalescedCells > 0:
+		s.coalesced.Add(1)
 	default:
-		r.status = StatusFailed
-		r.errMsg = err.Error()
+		s.hits.Add(1)
 	}
-	r.finished = time.Now()
-	status := r.status
-	r.mu.Unlock()
-
-	// Cells never dispatched (cancellation landed mid-batch) bumped the
-	// queued counter but ran no fn; reconcile so queue depth returns to 0.
-	if completed, _, total := r.job.Progress(); total > completed {
-		s.cellsDone.Add(uint64(total - completed))
+	if fp != "" {
+		s.byFP[fp] = v
 	}
-
-	if status == StatusDone {
-		r.home = s.lru
-		r.elem = s.lru.PushFront(r)
-		for s.lru.Len() > s.cacheRuns {
-			s.evict(s.lru.Back().Value.(*run))
-			s.evictions.Add(1)
-		}
-		return
-	}
-	// Failed and cancelled runs leave the single-flight index (a
-	// resubmission simulates afresh) and are kept only briefly for
-	// polling, never displacing cached results.
-	if r.fp != "" && s.byFP[r.fp] == r {
-		delete(s.byFP, r.fp)
-	}
-	r.home = s.junk
-	r.elem = s.junk.PushFront(r)
-	for s.junk.Len() > junkRuns {
-		s.evict(s.junk.Back().Value.(*run))
-	}
+	s.track(v)
+	s.mu.Unlock()
+	st := s.runStatus(v)
+	st.Cached = v.newCells == 0 && v.coalescedCells == 0
+	st.Coalesced = v.newCells == 0 && v.coalescedCells > 0
+	return st
 }
 
-// evict forgets a terminal run. Called with s.mu held.
-func (s *Server) evict(r *run) {
-	r.home.Remove(r.elem)
-	delete(s.runs, r.id)
-	if r.fp != "" && s.byFP[r.fp] == r {
-		delete(s.byFP, r.fp)
-	}
+// --- sweep submission ---
+
+// SweepAxes is a sweep's resolved parameter grid: the cross product of
+// seeds × timesteps × a buffer subset of one spec.
+type SweepAxes struct {
+	// Seeds are the resolved per-cell seeds (never 0), in sweep order.
+	Seeds []uint64
+	// DTs are the resolved timesteps in seconds.
+	DTs []float64
+	// Buffers are spec buffer indices.
+	Buffers []int
 }
 
-// view snapshots a run into its wire shape.
-func (s *Server) view(r *run) *RunStatus {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st := &RunStatus{
-		ID:          r.id,
-		Scenario:    r.spec.Name,
-		Seed:        r.opt.Seed,
-		Fingerprint: r.fp,
-		Status:      r.status,
-		Error:       r.errMsg,
-		Created:     r.created,
-		Cells:       make([]CellStatus, len(r.cells)),
+// ResolveSweepAxes validates a SweepRequest's axes against a spec and
+// resolves defaults: no seeds means the spec's one resolved seed, a seed
+// range spans [from, to] with from defaulting to 1, no dts means the
+// spec's one resolved timestep, and no buffer subset means every buffer.
+func ResolveSweepAxes(spec *scenario.Spec, req *SweepRequest) (SweepAxes, error) {
+	var ax SweepAxes
+	switch {
+	case len(req.Seeds) > 0:
+		if req.SeedFrom != 0 || req.SeedTo != 0 {
+			return ax, errors.New("sweep: set either seeds or seed_from/seed_to, not both")
+		}
+		seen := map[uint64]bool{}
+		for _, seed := range req.Seeds {
+			if seed == 0 {
+				return ax, errors.New("sweep: seed 0 is not expressible (seeds start at 1)")
+			}
+			// A repeated seed would double-weight that run in every
+			// summary statistic without simulating anything new.
+			if seen[seed] {
+				return ax, fmt.Errorf("sweep: duplicate seed %d", seed)
+			}
+			seen[seed] = true
+		}
+		ax.Seeds = append([]uint64(nil), req.Seeds...)
+	case req.SeedTo != 0:
+		from := req.SeedFrom
+		if from == 0 {
+			from = 1
+		}
+		if req.SeedTo < from {
+			return ax, fmt.Errorf("sweep: empty seed range %d..%d", from, req.SeedTo)
+		}
+		if req.SeedTo-from >= maxSweepCells {
+			return ax, fmt.Errorf("sweep: seed range %d..%d exceeds the %d-cell bound", from, req.SeedTo, maxSweepCells)
+		}
+		for seed := from; seed <= req.SeedTo; seed++ {
+			ax.Seeds = append(ax.Seeds, seed)
+		}
+	case req.SeedFrom != 0:
+		return ax, errors.New("sweep: seed_from needs seed_to")
+	default:
+		ax.Seeds = []uint64{ResolveSeed(spec, 0)}
 	}
-	if st.Seed == 0 {
-		if st.Seed = r.spec.Seed; st.Seed == 0 {
-			st.Seed = 1
+	if len(req.DTs) > 0 {
+		seenDT := map[float64]bool{}
+		for _, dt := range req.DTs {
+			if err := (scenario.RunOptions{DT: dt}).Validate(); err != nil {
+				return ax, fmt.Errorf("sweep: %w", err)
+			}
+			// Dedup after resolution: 0 and the spec's spelled-out default
+			// are the same axis point and would yield two identical
+			// summary rows.
+			rdt := resolveDT(spec, dt)
+			if seenDT[rdt] {
+				return ax, fmt.Errorf("sweep: duplicate timestep %g", rdt)
+			}
+			seenDT[rdt] = true
+			ax.DTs = append(ax.DTs, rdt)
+		}
+	} else {
+		ax.DTs = []float64{resolveDT(spec, 0)}
+	}
+	if len(req.Buffers) > 0 {
+		seenBuf := map[int]bool{}
+		for _, name := range req.Buffers {
+			idx := -1
+			for i, bs := range spec.Buffers {
+				if bs.DisplayName() == name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return ax, fmt.Errorf("sweep: spec has no buffer %q", name)
+			}
+			if seenBuf[idx] {
+				return ax, fmt.Errorf("sweep: duplicate buffer %q", name)
+			}
+			seenBuf[idx] = true
+			ax.Buffers = append(ax.Buffers, idx)
+		}
+	} else {
+		for i := range spec.Buffers {
+			ax.Buffers = append(ax.Buffers, i)
 		}
 	}
-	if Terminal(r.status) {
-		f := r.finished
-		st.Finished = &f
+	total := len(ax.Seeds) * len(ax.DTs) * len(ax.Buffers)
+	if total > maxSweepCells {
+		return ax, fmt.Errorf("sweep: %d cells exceed the %d-cell bound", total, maxSweepCells)
 	}
-	for i, c := range r.cells {
-		cs := CellStatus{Buffer: r.spec.Buffers[i].DisplayName(), Done: c.done, Error: c.err}
-		if c.done && c.err == "" {
+	return ax, nil
+}
+
+// SubmitSweep launches a sweep over the resolved axes, returning its
+// submission view. Cells are attached buffer-major, then by timestep, then
+// by seed, so each (buffer, dt) group's seeds are contiguous and in order.
+// It is the Go-level core of POST /sweeps.
+func (s *Server) SubmitSweep(spec *scenario.Spec, ax SweepAxes) *SweepStatus {
+	s.sweeps.Add(1)
+	s.mu.Lock()
+	v := s.newView("sweep", "s", spec, scenario.RunOptions{})
+	v.seeds = ax.Seeds
+	v.dts = ax.DTs
+	for _, bi := range ax.Buffers {
+		v.buffers = append(v.buffers, spec.Buffers[bi].DisplayName())
+	}
+	for _, bi := range ax.Buffers {
+		name := spec.Buffers[bi].DisplayName()
+		for _, dt := range ax.DTs {
+			for _, seed := range ax.Seeds {
+				opt := scenario.RunOptions{Seed: seed, DT: dt}
+				s.addCell(v, spec, bi, opt, cellKey{Seed: seed, DT: dt, Buffer: name})
+			}
+		}
+	}
+	s.track(v)
+	s.mu.Unlock()
+	return s.sweepStatus(v)
+}
+
+// ResolveSeed resolves the effective seed of a spec under an override,
+// mirroring the scenario layer: 0 means the spec's seed, which itself
+// defaults to 1.
+func ResolveSeed(spec *scenario.Spec, seed uint64) uint64 {
+	if seed != 0 {
+		return seed
+	}
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	return 1
+}
+
+// resolveDT resolves the effective timestep of a spec under an override,
+// mirroring the engine's defaults (0 → the spec's → 1 ms).
+func resolveDT(spec *scenario.Spec, dt float64) float64 {
+	if dt > 0 {
+		return dt
+	}
+	if spec.DT > 0 {
+		return spec.DT
+	}
+	return 1e-3
+}
+
+// --- wire snapshots ---
+
+// cellStatus snapshots one shared cell into its wire shape.
+func cellStatus(c *cell) CellStatus {
+	cs := CellStatus{Buffer: c.buffer}
+	if c.terminal() {
+		cs.Done = true
+		cs.Error = c.err
+		if c.err == "" {
 			cs.Result = toCellResult(c.res)
 		}
-		st.Cells[i] = cs
+	}
+	return cs
+}
+
+// runStatus snapshots a run view into its wire shape.
+func (s *Server) runStatus(v *view) *RunStatus {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := &RunStatus{
+		ID:          v.id,
+		Scenario:    v.spec.Name,
+		Seed:        ResolveSeed(v.spec, v.opt.Seed),
+		Fingerprint: v.fp,
+		Status:      v.status,
+		Error:       v.errMsg,
+		Created:     v.created,
+		Cells:       make([]CellStatus, len(v.cells)),
+	}
+	if Terminal(v.status) {
+		f := v.finished
+		st.Finished = &f
+	}
+	for i, c := range v.cells {
+		st.Cells[i] = cellStatus(c)
+	}
+	return st
+}
+
+// sweepStatus snapshots a sweep view into its wire shape, including the
+// per-(buffer, dt) across-seed summary once the sweep is done.
+func (s *Server) sweepStatus(v *view) *SweepStatus {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := &SweepStatus{
+		ID:             v.id,
+		Scenario:       v.spec.Name,
+		Status:         v.status,
+		Error:          v.errMsg,
+		Created:        v.created,
+		Seeds:          v.seeds,
+		DTs:            v.dts,
+		Buffers:        v.buffers,
+		CachedCells:    v.cachedCells,
+		CoalescedCells: v.coalescedCells,
+		NewCells:       v.newCells,
+		Cells:          make([]SweepCellStatus, len(v.cells)),
+	}
+	if Terminal(v.status) {
+		f := v.finished
+		st.Finished = &f
+	}
+	for i, c := range v.cells {
+		cs := cellStatus(c)
+		st.Cells[i] = SweepCellStatus{
+			Buffer: v.keys[i].Buffer,
+			Seed:   v.keys[i].Seed,
+			DT:     v.keys[i].DT,
+			Done:   cs.Done,
+			Error:  cs.Error,
+			Result: cs.Result,
+		}
+	}
+	if v.status == StatusDone {
+		// Cells are buffer-major then dt then seed: each summary group's
+		// results are contiguous and already in seed order.
+		n := len(v.seeds)
+		for g := 0; g+n <= len(v.cells); g += n {
+			results := make([]sim.Result, n)
+			for j := 0; j < n; j++ {
+				results[j] = v.cells[g+j].res
+			}
+			st.Summary = append(st.Summary, SweepSummary{
+				Buffer:      v.keys[g].Buffer,
+				DT:          v.keys[g].DT,
+				SeedSummary: scenario.AggregateSeeds(results),
+			})
+		}
 	}
 	return st
 }
@@ -336,9 +802,10 @@ func (s *Server) view(r *run) *RunStatus {
 // metrics snapshots the counters.
 func (s *Server) metrics() *Metrics {
 	s.mu.Lock()
-	tracked := len(s.runs)
-	entries := s.lru.Len()
-	active := tracked - entries - s.junk.Len()
+	tracked := len(s.views)
+	runEntries := s.viewLRU.Len()
+	cellEntries := s.cellLRU.Len()
+	active := tracked - runEntries - s.junk.Len()
 	s.mu.Unlock()
 
 	queued, done := s.cellsQueued.Load(), s.cellsDone.Load()
@@ -346,12 +813,19 @@ func (s *Server) metrics() *Metrics {
 		UptimeS:       time.Since(s.start).Seconds(),
 		Workers:       s.workers,
 		Submitted:     s.submitted.Load(),
+		Sweeps:        s.sweeps.Load(),
 		CacheHits:     s.hits.Load(),
 		Coalesced:     s.coalesced.Load(),
 		CacheMisses:   s.misses.Load(),
-		CacheEntries:  entries,
+		CacheEntries:  runEntries,
 		CacheCapacity: s.cacheRuns,
 		Evictions:     s.evictions.Load(),
+		CellHits:      s.cellHits.Load(),
+		CellCoalesced: s.cellCoalesced.Load(),
+		CellMisses:    s.cellMisses.Load(),
+		CellEntries:   cellEntries,
+		CellCapacity:  s.cacheCells,
+		CellEvictions: s.cellEvicts.Load(),
 		RunsTracked:   tracked,
 		RunsActive:    active,
 		QueueDepth:    int(queued - done),
@@ -361,6 +835,9 @@ func (s *Server) metrics() *Metrics {
 	}
 	if m.Submitted > 0 {
 		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
+	}
+	if attach := m.CellHits + m.CellCoalesced + m.CellMisses; attach > 0 {
+		m.CellHitRate = float64(m.CellHits+m.CellCoalesced) / float64(attach)
 	}
 	if m.UptimeS > 0 {
 		m.SimsPerSec = float64(m.SimsCompleted) / m.UptimeS
@@ -396,6 +873,34 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// resolveSpec resolves a submission's scenario selection — a registry name
+// or an inline spec, exactly one — writing the HTTP error itself on
+// failure (nil return).
+func (s *Server) resolveSpec(w http.ResponseWriter, name string, inline json.RawMessage) *scenario.Spec {
+	switch {
+	case name != "" && len(inline) > 0:
+		writeError(w, http.StatusBadRequest, "set either scenario or spec, not both")
+		return nil
+	case name != "":
+		spec, ok := scenario.Lookup(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown scenario %q (GET /scenarios lists the registry)", name)
+			return nil
+		}
+		return spec
+	case len(inline) > 0:
+		spec, err := scenario.ParseSpec(inline)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		return spec
+	default:
+		writeError(w, http.StatusBadRequest, "a submission needs a scenario name or an inline spec")
+		return nil
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	var rr RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
@@ -404,34 +909,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding run request: %v", err)
 		return
 	}
-	var (
-		spec *scenario.Spec
-		err  error
-	)
-	switch {
-	case rr.Scenario != "" && len(rr.Spec) > 0:
-		writeError(w, http.StatusBadRequest, "set either scenario or spec, not both")
-		return
-	case rr.Scenario != "":
-		var ok bool
-		if spec, ok = scenario.Lookup(rr.Scenario); !ok {
-			writeError(w, http.StatusNotFound, "unknown scenario %q (GET /scenarios lists the registry)", rr.Scenario)
-			return
-		}
-	case len(rr.Spec) > 0:
-		if spec, err = scenario.ParseSpec(rr.Spec); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "a run needs a scenario name or an inline spec")
+	spec := s.resolveSpec(w, rr.Scenario, rr.Spec)
+	if spec == nil {
 		return
 	}
-	if rr.DT < 0 {
-		writeError(w, http.StatusBadRequest, "dt must be positive")
+	opt := scenario.RunOptions{Seed: rr.Seed, DT: rr.DT}
+	if err := opt.Validate(); err != nil {
+		// Zero means "the spec's default", so the contract is finite and
+		// non-negative — not "positive".
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st := s.Submit(spec, scenario.RunOptions{Seed: rr.Seed, DT: rr.DT})
+	st := s.Submit(spec, opt)
 	code := http.StatusAccepted
 	if Terminal(st.Status) {
 		code = http.StatusOK
@@ -439,44 +928,96 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, code, st)
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
-	s.mu.Lock()
-	r := s.runs[req.PathValue("id")]
-	s.mu.Unlock()
-	if r == nil {
-		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sweep request: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.view(r))
+	spec := s.resolveSpec(w, sr.Scenario, sr.Spec)
+	if spec == nil {
+		return
+	}
+	ax, err := ResolveSweepAxes(spec, &sr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.SubmitSweep(spec, ax)
+	code := http.StatusAccepted
+	if Terminal(st.Status) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// lookupView fetches a tracked view of the given kind, 404ing otherwise.
+func (s *Server) lookupView(w http.ResponseWriter, req *http.Request, kind string) *view {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	v := s.views[id]
+	s.mu.Unlock()
+	if v == nil || v.kind != kind {
+		writeError(w, http.StatusNotFound, "no %s %q", kind, id)
+		return nil
+	}
+	return v
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
+	if v := s.lookupView(w, req, "run"); v != nil {
+		writeJSON(w, http.StatusOK, s.runStatus(v))
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
+	if v := s.lookupView(w, req, "sweep"); v != nil {
+		writeJSON(w, http.StatusOK, s.sweepStatus(v))
+	}
+}
+
+// deleteView cancels an in-flight view or forgets a finished one. Shared
+// cells referenced by another live view survive either way.
+func (s *Server) deleteView(v *view) {
+	s.mu.Lock()
+	v.mu.Lock()
+	terminal := Terminal(v.status)
+	if !terminal {
+		v.canceled = true
+	}
+	v.mu.Unlock()
+	if !terminal {
+		// Leave the whole-run index immediately so new identical
+		// submissions start fresh instead of attaching to a dying run, and
+		// release the cells: ones nobody else wants are cancelled.
+		if v.fp != "" && s.byFP[v.fp] == v {
+			delete(s.byFP, v.fp)
+		}
+		s.releaseCells(v)
+	} else {
+		s.forgetView(v)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
-	id := req.PathValue("id")
-	s.mu.Lock()
-	r := s.runs[id]
-	if r == nil {
-		s.mu.Unlock()
-		writeError(w, http.StatusNotFound, "no run %q", id)
+	v := s.lookupView(w, req, "run")
+	if v == nil {
 		return
 	}
-	r.mu.Lock()
-	terminal := Terminal(r.status)
-	if !terminal {
-		// Leave the single-flight index immediately so new identical
-		// submissions start fresh instead of attaching to a dying run.
-		r.canceled = true
-		if r.fp != "" && s.byFP[r.fp] == r {
-			delete(s.byFP, r.fp)
-		}
-	} else {
-		s.evict(r) // an explicit forget; not counted as a cache eviction
+	s.deleteView(v)
+	writeJSON(w, http.StatusOK, s.runStatus(v))
+}
+
+func (s *Server) handleSweepDelete(w http.ResponseWriter, req *http.Request) {
+	v := s.lookupView(w, req, "sweep")
+	if v == nil {
+		return
 	}
-	r.mu.Unlock()
-	s.mu.Unlock()
-	if !terminal {
-		r.job.Cancel()
-	}
-	writeJSON(w, http.StatusOK, s.view(r))
+	s.deleteView(v)
+	writeJSON(w, http.StatusOK, s.sweepStatus(v))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

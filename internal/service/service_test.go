@@ -260,7 +260,7 @@ func TestCancelStopsARun(t *testing.T) {
 	srv, c := newTestService(t, Config{Workers: 1})
 	started := make(chan int, 8)
 	release := make(chan struct{})
-	// Workers=1: the blocker holds the only slot; later cells queue.
+	// Workers=1: a blocker holds the only slot; later cells queue.
 	spec := blockingSpec(4, started, release)
 	spec.Buffers[0], spec.Buffers[1] = spec.Buffers[1], spec.Buffers[0]
 	st := srv.Submit(spec, scenario.RunOptions{})
@@ -270,21 +270,45 @@ func TestCancelStopsARun(t *testing.T) {
 	if err := rr.Cancel(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+	// Wait until the queued cells have observed the cancellation (done with
+	// an error, never simulated) before releasing the pinned blocker —
+	// otherwise freeing the worker races the cancellation delivery.
+	deadline := time.After(10 * time.Second)
+	for {
+		poll, err := rr.Poll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancelled := 0
+		for _, cell := range poll.Cells {
+			if cell.Done && cell.Error != "" {
+				cancelled++
+			}
+		}
+		if cancelled >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("queued cells never drained after cancellation")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 	close(release)
 	final, err := rr.Wait(context.Background())
 	if err == nil || final.Status != StatusCanceled {
 		t.Fatalf("want a canceled run, got status %q err %v", final.Status, err)
 	}
-	done := 0
+	simulated := 0
 	for _, cell := range final.Cells {
-		if cell.Done {
-			done++
+		if cell.Done && cell.Error == "" {
+			simulated++
 		}
 	}
-	if done >= len(final.Cells) {
-		t.Errorf("all %d cells completed despite cancellation", done)
+	if simulated >= len(final.Cells) {
+		t.Errorf("all %d cells simulated despite cancellation", simulated)
 	}
-	// Cells never dispatched are reconciled at finalize: the queue must
+	// Cancelled cells still drain through the scheduler: the queue must
 	// read empty once the run is terminal.
 	m, err := c.Metrics(context.Background())
 	if err != nil {
@@ -295,14 +319,14 @@ func TestCancelStopsARun(t *testing.T) {
 	}
 }
 
-func TestEvictionBoundsTheCache(t *testing.T) {
+func TestEvictionBoundsTheRunViews(t *testing.T) {
 	_, c := newTestService(t, Config{CacheRuns: 1})
 	ctx := context.Background()
 	a, err := c.Run(ctx, RunRequest{Spec: json.RawMessage(fastSpec)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A different duration is a different address; it evicts run A.
+	// A different duration is a different address; it evicts run view A.
 	b := strings.Replace(fastSpec, `"duration": 30`, `"duration": 31`, 1)
 	if _, err := c.Run(ctx, RunRequest{Spec: json.RawMessage(b)}); err != nil {
 		t.Fatal(err)
@@ -314,13 +338,22 @@ func TestEvictionBoundsTheCache(t *testing.T) {
 	if _, err := (&RemoteRun{c: c, ID: a.ID}).Poll(ctx); err == nil {
 		t.Error("the evicted run must be forgotten")
 	}
-	// Resubmitting A simulates afresh.
+	// Evicting the view does not evict its cells: resubmitting A is served
+	// from the cell cache without a single new simulation.
+	before := m.CellMisses
 	a2, err := c.RunAsync(ctx, RunRequest{Spec: json.RawMessage(fastSpec)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a2.Submitted.Cached {
-		t.Error("an evicted address must miss")
+	if !a2.Submitted.Cached || a2.Submitted.Status != StatusDone {
+		t.Errorf("the evicted view's cells must still serve the resubmission: %+v", a2.Submitted)
+	}
+	if a2.Submitted.ID == a.ID {
+		t.Error("the resubmission must be a fresh view, not the evicted one")
+	}
+	m, _ = c.Metrics(ctx)
+	if m.CellMisses != before {
+		t.Errorf("cell misses went %d -> %d on a fully cached resubmission", before, m.CellMisses)
 	}
 }
 

@@ -112,6 +112,80 @@ func (st *RunStatus) Result(buffer string) (*CellResult, bool) {
 	return nil, false
 }
 
+// SweepRequest submits a sweep: one spec (a registered scenario by name or
+// an inline JSON spec, exactly one) crossed with a seed axis, an optional
+// timestep axis, and an optional buffer subset.
+//
+// The seed axis is either an explicit list (each ≥ 1) or a range
+// seed_from..seed_to (from defaults to 1); with neither, the spec's own
+// resolved seed is the single point. The dt axis defaults to the spec's
+// timestep; dt 0 in the list means "the spec's default". The buffer subset
+// names buffer display names of the spec; empty means every buffer.
+type SweepRequest struct {
+	Scenario string          `json:"scenario,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Seeds    []uint64        `json:"seeds,omitempty"`
+	SeedFrom uint64          `json:"seed_from,omitempty"`
+	SeedTo   uint64          `json:"seed_to,omitempty"`
+	DTs      []float64       `json:"dts,omitempty"`
+	Buffers  []string        `json:"buffers,omitempty"`
+}
+
+// SweepCellStatus is one (buffer, dt, seed) cell of a sweep: pending,
+// failed, or completed with its result — partial results are visible while
+// the sweep drains.
+type SweepCellStatus struct {
+	Buffer string      `json:"buffer"`
+	Seed   uint64      `json:"seed"`
+	DT     float64     `json:"dt"`
+	Done   bool        `json:"done"`
+	Error  string      `json:"error,omitempty"`
+	Result *CellResult `json:"result,omitempty"`
+}
+
+// SweepSummary is one aggregate row of a completed sweep: one (buffer, dt)
+// group's across-seed statistics, computed by scenario.AggregateSeeds —
+// the same code `reactsim -seeds` reports through, so remote summaries are
+// bit-identical to local sweeps of the same spec and seeds.
+type SweepSummary struct {
+	Buffer string  `json:"buffer"`
+	DT     float64 `json:"dt"`
+	scenario.SeedSummary
+}
+
+// SweepStatus is the submit/poll view of a sweep: the resolved axes, every
+// cell's state, and (once done) the per-axis summary rows. CachedCells,
+// CoalescedCells and NewCells are the submission's cache disposition: how
+// many cells were served from the cache, joined in flight, and freshly
+// simulated.
+type SweepStatus struct {
+	ID             string            `json:"id"`
+	Scenario       string            `json:"scenario"`
+	Status         string            `json:"status"`
+	Error          string            `json:"error,omitempty"`
+	Created        time.Time         `json:"created"`
+	Finished       *time.Time        `json:"finished,omitempty"`
+	Seeds          []uint64          `json:"seeds"`
+	DTs            []float64         `json:"dts"`
+	Buffers        []string          `json:"buffers"`
+	CachedCells    int               `json:"cached_cells"`
+	CoalescedCells int               `json:"coalesced_cells"`
+	NewCells       int               `json:"new_cells"`
+	Cells          []SweepCellStatus `json:"cells"`
+	Summary        []SweepSummary    `json:"summary,omitempty"`
+}
+
+// Row returns the completed summary row for a buffer display name and
+// resolved timestep (pass 0 for a single-dt sweep's only axis point).
+func (st *SweepStatus) Row(buffer string, dt float64) (*SweepSummary, bool) {
+	for i := range st.Summary {
+		if st.Summary[i].Buffer == buffer && (dt == 0 || st.Summary[i].DT == dt) {
+			return &st.Summary[i], true
+		}
+	}
+	return nil, false
+}
+
 // ScenarioInfo is one registry entry in the GET /scenarios listing.
 type ScenarioInfo struct {
 	Name        string   `json:"name"`
@@ -142,12 +216,14 @@ func toScenarioInfo(s *scenario.Spec) ScenarioInfo {
 	return info
 }
 
-// Metrics is the GET /metrics report: cache effectiveness, queue state and
-// simulation throughput.
+// Metrics is the GET /metrics report: cache effectiveness at both
+// granularities (whole-run submissions and content-addressed cells), queue
+// state and simulation throughput.
 type Metrics struct {
 	UptimeS       float64 `json:"uptime_s"`
 	Workers       int     `json:"workers"`
 	Submitted     uint64  `json:"runs_submitted"`
+	Sweeps        uint64  `json:"sweeps_submitted"`
 	CacheHits     uint64  `json:"cache_hits"`
 	Coalesced     uint64  `json:"coalesced"`
 	CacheMisses   uint64  `json:"cache_misses"`
@@ -155,6 +231,13 @@ type Metrics struct {
 	CacheEntries  int     `json:"cache_entries"`
 	CacheCapacity int     `json:"cache_capacity"`
 	Evictions     uint64  `json:"cache_evictions"`
+	CellHits      uint64  `json:"cell_hits"`
+	CellCoalesced uint64  `json:"cell_coalesced"`
+	CellMisses    uint64  `json:"cell_misses"`
+	CellHitRate   float64 `json:"cell_hit_rate"`
+	CellEntries   int     `json:"cell_entries"`
+	CellCapacity  int     `json:"cell_capacity"`
+	CellEvictions uint64  `json:"cell_evictions"`
 	RunsTracked   int     `json:"runs_tracked"`
 	RunsActive    int     `json:"runs_active"`
 	QueueDepth    int     `json:"queue_depth"`

@@ -34,7 +34,9 @@ func arLogNormal(name string, seed uint64, n int, mean, sigma, rho, trend float6
 	for i := 0; i < n; i++ {
 		x = rho*x + innov*r.Norm()
 		logTrend := 0.0
-		if trend != 0 && trend != 1 {
+		// n==1 would make the 0/0 position NaN; a single sample sits at the
+		// ramp's midpoint, where the trend factor is 1 (logTrend 0).
+		if trend != 0 && trend != 1 && n > 1 {
 			frac := float64(i) / float64(n-1)
 			logTrend = math.Log(trend) * (1 - 2*frac)
 		}

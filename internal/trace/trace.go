@@ -202,7 +202,11 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses a trace written by WriteCSV (or any two-column
-// time/power CSV with a header row and uniform spacing).
+// time/power CSV with a header row and uniform spacing). The sample
+// spacing is derived from the first two rows and every later timestamp
+// must lie on that grid (within a 1e-9·DT tolerance); power samples must
+// be finite and non-negative. Violations are rejected with the offending
+// data-row number.
 func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -213,7 +217,7 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 		return nil, errors.New("trace: need a header and at least two samples")
 	}
 	tr := &Trace{Name: name}
-	var t0, t1 float64
+	times := make([]float64, 0, len(rows)-1)
 	for i, row := range rows[1:] {
 		if len(row) < 2 {
 			return nil, fmt.Errorf("trace: row %d has %d columns, want 2", i+1, len(row))
@@ -226,17 +230,38 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: row %d power: %w", i+1, err)
 		}
-		switch i {
-		case 0:
-			t0 = ts
-		case 1:
-			t1 = ts
+		if math.IsNaN(ts) || math.IsInf(ts, 0) {
+			return nil, fmt.Errorf("trace: row %d: non-finite time %v", i+1, ts)
 		}
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("trace: row %d: non-finite power %v", i+1, p)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("trace: row %d: negative power %v (a harvester cannot deliver negative watts)", i+1, p)
+		}
+		times = append(times, ts)
 		tr.Power = append(tr.Power, p)
 	}
-	tr.DT = t1 - t0
+	tr.DT = times[1] - times[0]
 	if tr.DT <= 0 {
 		return nil, errors.New("trace: non-increasing timestamps")
+	}
+	// The contract is uniform spacing, and the simulation trusts it: a
+	// jittered or gapped recording replayed on a DT grid would silently
+	// stretch or compress time. Verify every consecutive difference
+	// matches the spacing the first two rows imply — differences, not
+	// absolute grid positions, because DT itself carries the timestamps'
+	// representation error and an anchored grid times[0] + i·DT would
+	// accumulate it linearly over a long recording. The tolerance is
+	// 1e-9·DT plus a few ulps of the absolute timestamp (nearest-double
+	// parsing of exact decimal stamps is not exact, and that noise must
+	// not read as jitter).
+	tol := 1e-9 * tr.DT
+	for i := 1; i < len(times); i++ {
+		eps := tol + 4*math.Abs(times[i])*2.220446049250313e-16 // 2^-52
+		if d := times[i] - times[i-1] - tr.DT; d > eps || d < -eps {
+			return nil, fmt.Errorf("trace: row %d: non-uniform spacing: step %v after row %d, want %v (from the first two rows)", i+1, times[i]-times[i-1], i, tr.DT)
+		}
 	}
 	return tr, nil
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -118,6 +119,108 @@ func TestReadCSVErrors(t *testing.T) {
 	for _, c := range cases {
 		if _, err := ReadCSV("bad", strings.NewReader(c)); err == nil {
 			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+// TestReadCSVRejectsJitteredSpacing pins the uniform-spacing contract: DT
+// is derived from the first two rows, and a later row that drifts off that
+// grid — a jittered logger, a dropped sample — must be rejected with its
+// row number rather than silently replayed on a stretched time base.
+func TestReadCSVRejectsJitteredSpacing(t *testing.T) {
+	jittered := "time_s,power_w\n0,1e-3\n0.5,1e-3\n1.0,1e-3\n1.5004,1e-3\n2.0,1e-3\n"
+	_, err := ReadCSV("jitter", strings.NewReader(jittered))
+	if err == nil {
+		t.Fatal("a jittered CSV must not parse")
+	}
+	if !strings.Contains(err.Error(), "row 4") || !strings.Contains(err.Error(), "non-uniform") {
+		t.Errorf("error should name row 4 and the non-uniform spacing, got: %v", err)
+	}
+	// A gap (dropped sample) is the same defect.
+	gapped := "time_s,power_w\n0,1e-3\n0.5,1e-3\n1.5,1e-3\n"
+	if _, err := ReadCSV("gap", strings.NewReader(gapped)); err == nil {
+		t.Error("a gapped CSV must not parse")
+	}
+	// Sub-tolerance float noise (well inside 1e-9·DT) still parses: exact
+	// decimal re-encodings of a written trace must round-trip.
+	fine := "time_s,power_w\n0,1e-3\n0.5,1e-3\n1.0000000000001,1e-3\n"
+	if _, err := ReadCSV("fine", strings.NewReader(fine)); err != nil {
+		t.Errorf("sub-tolerance noise must parse, got: %v", err)
+	}
+}
+
+// TestReadCSVAcceptsLargeUniformTimestamps pins the tolerance's ulp slack:
+// a uniformly spaced recording whose decimal timestamps are large relative
+// to DT parses even though nearest-double parsing drifts off the
+// float64 product grid by more than 1e-9·DT.
+func TestReadCSVAcceptsLargeUniformTimestamps(t *testing.T) {
+	// Millisecond spacing starting deep into a multi-day recording:
+	// ulp(260000)/2 ≈ 2.9e-11 > 1e-9·DT = 1e-12.
+	var b strings.Builder
+	b.WriteString("time_s,power_w\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "%.3f,1e-3\n", 260000+float64(i)/1000)
+	}
+	tr, err := ReadCSV("large", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("a uniform large-timestamp CSV must parse: %v", err)
+	}
+	// DT is a difference of two large parsed doubles, so it is only
+	// accurate to ~ulp(260000); that inherent error is fine.
+	if math.Abs(tr.DT-1e-3) > 1e-10 || len(tr.Power) != 2000 {
+		t.Errorf("dt %g samples %d, want 1e-3 and 2000", tr.DT, len(tr.Power))
+	}
+	// Real jitter at that scale is still caught.
+	jit := strings.Replace(b.String(), "260001.500", "260001.542", 1)
+	if _, err := ReadCSV("large-jitter", strings.NewReader(jit)); err == nil {
+		t.Error("genuine jitter must still be rejected at large timestamps")
+	}
+}
+
+// TestReadCSVRejectsBadPower pins the sample validation: a harvested-power
+// recording cannot carry negative, NaN, or infinite watts — any of them
+// would inject non-physical energy into the simulation.
+func TestReadCSVRejectsBadPower(t *testing.T) {
+	cases := map[string]string{
+		"negative": "time_s,power_w\n0,1e-3\n1,-2e-3\n2,1e-3\n",
+		"NaN":      "time_s,power_w\n0,1e-3\n1,NaN\n2,1e-3\n",
+		"+Inf":     "time_s,power_w\n0,1e-3\n1,+Inf\n2,1e-3\n",
+		"NaN time": "time_s,power_w\n0,1e-3\nNaN,1e-3\n2,1e-3\n",
+	}
+	for label, c := range cases {
+		_, err := ReadCSV("bad", strings.NewReader(c))
+		if err == nil {
+			t.Errorf("%s: must not parse", label)
+			continue
+		}
+		if !strings.Contains(err.Error(), "row 2") {
+			t.Errorf("%s: error should name row 2, got: %v", label, err)
+		}
+	}
+}
+
+// TestTinyGenerators pins the degenerate-length guard: both synthetic
+// process generators must produce finite, positive power for n==1 (where
+// the AR trend's 0/(n-1) position used to be NaN) and other tiny lengths.
+func TestTinyGenerators(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		ar := arLogNormal("tiny-ar", 7, n, 1e-3, 0.5, 0.9, 1.35)
+		if len(ar.Power) != n {
+			t.Fatalf("arLogNormal n=%d produced %d samples", n, len(ar.Power))
+		}
+		for i, p := range ar.Power {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				t.Errorf("arLogNormal n=%d sample %d = %v, want finite non-negative", n, i, p)
+			}
+		}
+		mb := markovBurst("tiny-mb", 7, n, 1e-3, 0.5e-3, 5e-3, 10, 3, 0.3)
+		if len(mb.Power) != n {
+			t.Fatalf("markovBurst n=%d produced %d samples", n, len(mb.Power))
+		}
+		for i, p := range mb.Power {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				t.Errorf("markovBurst n=%d sample %d = %v, want finite non-negative", n, i, p)
+			}
 		}
 	}
 }

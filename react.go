@@ -328,6 +328,24 @@ type (
 	RunCellResult = service.CellResult
 	// ServiceScenarioInfo is one GET /scenarios registry entry.
 	ServiceScenarioInfo = service.ScenarioInfo
+	// SweepRequest submits a sweep: one spec crossed with a seed list or
+	// range, an optional timestep axis, and an optional buffer subset.
+	SweepRequest = service.SweepRequest
+	// SweepStatus is a sweep's submit/poll view: resolved axes, per-cell
+	// results, and (once done) per-(buffer, dt) summary rows.
+	SweepStatus = service.SweepStatus
+	// SweepCell is one (buffer, dt, seed) cell of a SweepStatus.
+	SweepCell = service.SweepCellStatus
+	// SweepSummaryRow is one aggregate row of a completed sweep.
+	SweepSummaryRow = service.SweepSummary
+	// RemoteSweep is a submitted sweep's poll/wait/cancel handle
+	// (Client.SweepAsync).
+	RemoteSweep = service.RemoteSweep
+	// SeedSummary is one cell's across-seed statistics, as computed by
+	// AggregateSeeds.
+	SeedSummary = scenario.SeedSummary
+	// MeanStd is an across-seed mean and population standard deviation.
+	MeanStd = scenario.MeanStd
 )
 
 // NewService builds a reactd server for embedding: mount it on any
@@ -337,16 +355,34 @@ func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
 // Dial connects to a reactd server ("http://host:port") and verifies it
 // responds. Client.Run submits and waits; Client.RunAsync returns a
 // RemoteRun handle for polling, partial results and cancellation.
+// Client.Sweep and Client.SweepAsync submit seed × dt × buffer sweeps,
+// which share cells with runs and other sweeps through the daemon's
+// content-addressed cache.
 func Dial(baseURL string) (*Client, error) { return service.Dial(baseURL) }
 
 // FingerprintScenario returns the content address of the runs a scenario
 // spec produces under the given options: a stable SHA-256 over the
 // canonicalized physics (trace, converter, device, workload, buffers,
 // timestep, tail cap, seed). Equal fingerprints mean bit-identical
-// results; the service's result cache is keyed on it.
+// results; the service deduplicates whole-run submissions on it.
 func FingerprintScenario(s *Scenario, opt ScenarioOptions) (string, error) {
 	return s.FingerprintRun(opt)
 }
+
+// FingerprintScenarioCell returns the content address of buffer i's cell
+// of a scenario under the given options — the granularity the service's
+// result cache operates at. A cell's address equals the run address of
+// the equivalent single-buffer spec, so runs and sweeps that overlap on a
+// buffer share the cached simulation.
+func FingerprintScenarioCell(s *Scenario, i int, opt ScenarioOptions) (string, error) {
+	return s.FingerprintCell(i, opt)
+}
+
+// AggregateSeeds summarizes a multi-seed sweep of one cell: per-metric
+// across-seed mean and population standard deviation, latency over the
+// started runs only. It is the same computation `reactsim -seeds` prints
+// and reactd's sweep summaries report.
+func AggregateSeeds(results []Result) SeedSummary { return scenario.AggregateSeeds(results) }
 
 // Experiment-engine types: the shared orchestration layer every multi-run
 // workload (grids, sweeps, benchmarks, tools) schedules through.
