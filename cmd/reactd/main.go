@@ -16,7 +16,15 @@
 //	                     "dts":[...],"buffers":[...]} (or an inline "spec")
 //	GET    /sweeps/{id}  poll per-cell results and the per-axis summary
 //	DELETE /sweeps/{id}  cancel an in-flight sweep / forget a finished one
-//	GET    /metrics      cell/run cache hit rates, queue depth, sims/sec
+//	POST   /explorations submit a design-space exploration: a base scenario
+//	                     crossed with a capacitance lattice, presets, dts,
+//	                     seeds and spec patches, explored by grid or by
+//	                     bisection toward a metric target
+//	GET    /explorations/{id}  poll probed cells and the assembled result
+//	                     (points, bisection bests, Pareto frontiers)
+//	DELETE /explorations/{id}  cancel / forget an exploration
+//	GET    /metrics      cell/run cache hit rates, explore_* counters,
+//	                     queue depth, sims/sec
 //
 // The cache is cell-granular: the unit of cached work is one buffer of one
 // spec under a resolved seed and timestep (its content address). A run or
@@ -28,8 +36,12 @@
 // (HTTP 202), or the completed view (HTTP 200) when every cell was served
 // from the cache. Sweeps report per-cell metrics plus across-seed
 // mean ± std summary rows per (buffer, dt) group, bit-identical to
-// `reactsim -seeds` for the same spec and seeds. SIGINT/SIGTERM drain
-// in-flight work before exit.
+// `reactsim -seeds` for the same spec and seeds. Explorations probe their
+// lattice through the same cache, so a bisection submitted after a
+// covering grid — or after any sweep or run over the same cells —
+// performs zero new simulations, and their results are bit-identical to
+// `reactsim -explore` for the same space. SIGINT/SIGTERM drain in-flight
+// work before exit.
 package main
 
 import (

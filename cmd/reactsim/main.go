@@ -8,7 +8,9 @@
 //	reactsim -list
 //	reactsim -scenario name [-seed n] [-workers n] [-json]
 //	reactsim -scenario-file spec.json [-seed n] [-workers n] [-json]
+//	reactsim -explore space.json [-target metric<=value] [-workers n] [-json]
 //	reactsim -remote http://host:port -scenario name [-seed n|-seeds n] [-dt s] [-json]
+//	reactsim -remote http://host:port -explore space.json [-target ...] [-json]
 //
 // With -seeds n (n > 1) it runs a multi-seed sweep through the shared
 // experiment engine — n independent instances of the scenario on seeds
@@ -21,13 +23,26 @@
 // so new workloads are runnable without recompiling. -json emits the
 // scenario results as machine-readable JSON.
 //
+// -explore runs a design-space exploration from a JSON space file: a base
+// scenario crossed with a capacitance lattice, preset buffers, timestep
+// values, seed ranges, and JSON-patchable spec knobs, evaluated by an
+// exhaustive grid or by bisection toward a metric target (-target
+// "latency<=0.5" or "blocks>=100" sets or overrides the goal and, when
+// the space names no strategy, selects bisection). The report lists every
+// evaluated point, the Pareto frontiers the space asked for, and the
+// minimal design meeting the target; -json emits the full result.
+//
+// The mode flags -list, -scenario, -scenario-file and -explore are
+// mutually exclusive: naming two modes is an error, not a silent
+// precedence.
+//
 // -remote targets a reactd daemon instead of simulating locally: a
-// scenario run becomes POST /runs and -seeds n becomes POST /sweeps over
-// seeds 1..n, both served from the daemon's content-addressed cell cache —
-// repeated and overlapping submissions reuse already-simulated cells. The
-// across-seed statistics a remote sweep reports are bit-identical to the
-// local -seeds output for the same spec and seeds (the daemon aggregates
-// with the same code).
+// scenario run becomes POST /runs, -seeds n becomes POST /sweeps over
+// seeds 1..n, and -explore becomes POST /explorations, all served from the
+// daemon's content-addressed cell cache — repeated and overlapping
+// submissions reuse already-simulated cells. Remote reports are
+// bit-identical to their local equivalents for the same inputs (the
+// daemon aggregates and explores with the same code).
 //
 // Buffers: "770 µF", "10 mF", "17 mF", "Morphy", "REACT", plus the
 // related-work extensions "Capybara" and "Dewdrop".
@@ -43,8 +58,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"react/internal/experiments"
+	"react/internal/explore"
 	"react/internal/runner"
 	"react/internal/scenario"
 	"react/internal/service"
@@ -90,20 +108,47 @@ func main() {
 		scenName  = flag.String("scenario", "", "run a registered scenario over its whole buffer set")
 		scenFile  = flag.String("scenario-file", "", "run a JSON scenario spec (overrides -scenario)")
 		workers   = flag.Int("workers", 0, "bound the scenario worker pool (0 = GOMAXPROCS)")
-		jsonOut   = flag.Bool("json", false, "emit scenario results as JSON (with -scenario/-scenario-file)")
+		jsonOut   = flag.Bool("json", false, "emit scenario results as JSON (with -scenario/-scenario-file/-explore)")
 		remote    = flag.String("remote", "", "target a reactd daemon (http://host:port) instead of simulating locally")
+		explFile  = flag.String("explore", "", "run a design-space exploration from a JSON space file")
+		targetStr = flag.String("target", "", `exploration metric goal ("latency<=0.5", "blocks>=100"); needs -explore`)
 	)
 	flag.Parse()
 
-	if *list {
-		listScenarios()
-		return
-	}
 	// Which flags did the user set explicitly? Scenario specs carry their
 	// own seed and timestep, so only explicit -seed/-dt override them, and
 	// single-cell-only flags must not be silently ignored in scenario mode.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	// Conflicting mode selections are an error, never a silent precedence.
+	if err := checkModeConflicts(explicit); err != nil {
+		fmt.Fprintln(os.Stderr, "reactsim:", err)
+		os.Exit(2)
+	}
+
+	if *list {
+		listScenarios()
+		return
+	}
+
+	if *explFile != "" {
+		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "seed", "seeds", "dt"} {
+			if explicit[bad] {
+				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to explorations (the space file defines the axes)\n", bad)
+				os.Exit(2)
+			}
+		}
+		if *remote != "" && explicit["workers"] {
+			fmt.Fprintln(os.Stderr, "reactsim: -workers does not apply to remote explorations (the daemon owns the pool)")
+			os.Exit(2)
+		}
+		if err := runExplore(*explFile, *targetStr, *remote, *workers, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *remote != "" {
 		if *scenName == "" && *scenFile == "" {
@@ -539,6 +584,231 @@ func runRemote(addr, name, file string, seed uint64, dt float64, seeds int, json
 		fmt.Println()
 	}
 	return nil
+}
+
+// checkModeConflicts rejects flag combinations that would otherwise
+// resolve by silent precedence: two run modes at once, a goal without an
+// exploration, or both seed forms.
+func checkModeConflicts(explicit map[string]bool) error {
+	var set []string
+	for _, f := range []string{"list", "scenario", "scenario-file", "explore"} {
+		if explicit[f] {
+			set = append(set, "-"+f)
+		}
+	}
+	if len(set) > 1 {
+		return fmt.Errorf("%s are mutually exclusive: pick one mode", strings.Join(set, " and "))
+	}
+	if explicit["target"] && !explicit["explore"] {
+		return fmt.Errorf("-target needs -explore (it sets the exploration's metric goal)")
+	}
+	if explicit["seed"] && explicit["seeds"] {
+		return fmt.Errorf("set -seed or -seeds, not both")
+	}
+	if explicit["seeds"] && (explicit["scenario"] || explicit["scenario-file"]) && !explicit["remote"] {
+		return fmt.Errorf("-seeds does not apply to local scenario runs (scenarios define their own seed; use -remote for a daemon-side seed sweep)")
+	}
+	if explicit["seeds"] && explicit["explore"] {
+		return fmt.Errorf("-seeds does not apply to explorations (the space file's seeds/seed_from/seed_to define the axis)")
+	}
+	if explicit["remote"] && explicit["list"] {
+		return fmt.Errorf("-list prints the local registry; list a daemon's with GET /scenarios (curl <addr>/scenarios)")
+	}
+	return nil
+}
+
+// parseTarget parses a -target goal: "metric<=value", "metric>=value", or
+// "metric=value" (shorthand for a ceiling).
+func parseTarget(s string) (*explore.Target, error) {
+	for _, op := range []string{"<=", ">=", "="} {
+		i := strings.Index(s, op)
+		if i < 0 {
+			continue
+		}
+		if i == 0 {
+			break // no metric name before the comparison
+		}
+		v, err := strconv.ParseFloat(s[i+len(op):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -target value in %q: %w", s, err)
+		}
+		t := &explore.Target{Metric: s[:i]}
+		if op == ">=" {
+			t.Min = &v
+		} else {
+			t.Max = &v
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf(`bad -target %q (want "metric<=value" or "metric>=value")`, s)
+}
+
+// runExplore loads a space file, applies the -target override, and runs
+// the exploration locally (over the experiment engine) or against a
+// reactd daemon. The remote result is bit-identical to the local one for
+// the same space — both paths print through printExploreResult.
+func runExplore(path, targetStr, remote string, workers int, jsonOut bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sp, err := explore.ParseSpace(data)
+	if err != nil {
+		return err
+	}
+	if targetStr != "" {
+		tgt, err := parseTarget(targetStr)
+		if err != nil {
+			return err
+		}
+		sp.Target = tgt
+		if sp.Strategy == "" {
+			sp.Strategy = explore.StrategyBisect
+		}
+		// Revalidate with the new goal and strategy in place.
+		if _, err := sp.Resolve(); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+
+	var res *explore.Result
+	if remote != "" {
+		client, err := service.Dial(remote)
+		if err != nil {
+			return err
+		}
+		st, err := client.Explore(ctx, sp)
+		if err != nil {
+			return err
+		}
+		if !jsonOut {
+			fmt.Printf("remote   %s: %d cached, %d coalesced, %d simulated cells\n",
+				st.ID, st.CachedCells, st.CoalescedCells, st.NewCells)
+		}
+		res = st.Result
+	} else {
+		if res, err = explore.Run(ctx, sp, explore.Local(workers)); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	printExploreResult(res)
+	return nil
+}
+
+// printExploreResult renders the shared human-readable exploration report:
+// one row per evaluated point, then the bisection/scan outcomes and the
+// Pareto frontiers (frontier membership is starred in the table).
+func printExploreResult(res *explore.Result) {
+	fmt.Printf("explore  %s — %s over %d points × %d seed(s), %d evaluated\n",
+		res.Scenario, res.Strategy, len(res.Points), len(res.Seeds), res.Evaluated)
+
+	// Columns: the shared objectives plus the union of workload metrics.
+	builtin := map[string]bool{
+		explore.MetricLatency: true, explore.MetricDuty: true,
+		explore.MetricDead: true, explore.MetricEfficiency: true,
+	}
+	keySet := map[string]bool{}
+	params := map[string]bool{}
+	for _, pr := range res.Points {
+		for k := range pr.Metrics {
+			if !builtin[k] {
+				keySet[k] = true
+			}
+		}
+		for p := range pr.Params {
+			params[p] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	paths := make([]string, 0, len(params))
+	for p := range params {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	onFrontier := map[int]bool{}
+	for _, f := range res.Frontiers {
+		for _, pi := range f.Points {
+			onFrontier[pi] = true
+		}
+	}
+
+	fmt.Printf("\n%5s %-12s %8s", "point", "buffer", "dt")
+	for _, p := range paths {
+		fmt.Printf(" %12s", p[strings.LastIndex(p, "/")+1:])
+	}
+	fmt.Printf(" %9s %6s %6s %5s", "latency", "duty%", "dead%", "eff%")
+	for _, k := range keys {
+		fmt.Printf(" %10s", k)
+	}
+	fmt.Println()
+	for i, pr := range res.Points {
+		if !pr.Evaluated {
+			continue
+		}
+		mark := " "
+		if onFrontier[i] {
+			mark = "*"
+		}
+		fmt.Printf("%4d%s %-12s %8g", i, mark, pr.Buffer, pr.DT)
+		for _, p := range paths {
+			fmt.Printf(" %12g", pr.Params[p])
+		}
+		lat := "-"
+		if v, ok := pr.Metrics[explore.MetricLatency]; ok {
+			lat = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Printf(" %9s %6.1f %6.1f %5.1f", lat,
+			pr.Metrics[explore.MetricDuty]*100, pr.Metrics[explore.MetricDead]*100,
+			pr.Metrics[explore.MetricEfficiency]*100)
+		for _, k := range keys {
+			fmt.Printf(" %10.1f", pr.Metrics[k])
+		}
+		fmt.Println()
+	}
+
+	if res.Target != nil {
+		for _, b := range res.Best {
+			group := ""
+			if len(res.Best) > 1 {
+				group = fmt.Sprintf(" [dt %g", b.DT)
+				for _, p := range paths {
+					group += fmt.Sprintf(" %s=%g", p[strings.LastIndex(p, "/")+1:], b.Params[p])
+				}
+				group += "]"
+			}
+			if b.Satisfied {
+				pt := res.Points[b.Point]
+				size := pt.Buffer
+				if pt.C > 0 {
+					size = fmt.Sprintf("%s (%.4g F)", pt.Buffer, pt.C)
+				}
+				fmt.Printf("\ntarget   %s%s: minimal design %s at point %d (%d point(s) probed)\n",
+					res.Target, group, size, b.Point, b.Evaluations)
+			} else {
+				fmt.Printf("\ntarget   %s%s: not satisfiable on the axis (%d point(s) probed)\n",
+					res.Target, group, b.Evaluations)
+			}
+		}
+	}
+	for _, f := range res.Frontiers {
+		fmt.Printf("\nfrontier %s vs %s (%d of %d evaluated points):",
+			f.X, f.Y, len(f.Points), res.Evaluated)
+		for _, pi := range f.Points {
+			fmt.Printf(" %d", pi)
+		}
+		fmt.Println()
+	}
 }
 
 func loadTrace(name, file string, seed uint64) (*trace.Trace, error) {

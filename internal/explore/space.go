@@ -1,0 +1,556 @@
+// Package explore is the design-space exploration subsystem: it turns the
+// declarative scenario layer and the experiment engine into an optimizer
+// over energy-buffer designs.
+//
+// A Space names a base scenario and a set of parameter axes — a
+// static-buffer capacitance lattice (log or linear), a preset-buffer
+// subset, timestep values, seed ranges, and arbitrary JSON-patchable spec
+// knobs — and a strategy: an exhaustive grid, or an adaptive bisection
+// that finds the minimal capacitance meeting a metric target (mean event
+// latency, dead time, a workload counter) to the lattice's tolerance.
+// Pareto frontiers over chosen metric pairs (latency vs. efficiency, dead
+// time vs. size) are extracted from the evaluated points.
+//
+// Every evaluated point is a derived single-buffer scenario spec, so it
+// resolves to the same cell fingerprint (scenario.Spec.FingerprintCell)
+// the service's content-addressed cache keys on: explorations dedupe
+// against each other, against sweeps, and against plain runs — a
+// bisection re-run after a covering grid performs zero new simulations,
+// because bisection only ever probes points of the same lattice.
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"react/internal/runner"
+	"react/internal/scenario"
+)
+
+// maxCells bounds one exploration's fan-out (points × seeds), matching the
+// service's sweep bound.
+const maxCells = 4096
+
+// Strategy names.
+const (
+	// StrategyGrid evaluates every lattice point.
+	StrategyGrid = "grid"
+	// StrategyBisect binary-searches the capacitance lattice for the
+	// minimal point meeting the target, assuming the target predicate
+	// flips at most once (unmet to met) as capacitance grows.
+	StrategyBisect = "bisect"
+)
+
+// Space is a declarative design-space exploration: a base scenario crossed
+// with parameter axes, a strategy, and the analyses to run over the
+// evaluated points. It is JSON-parseable (ParseSpace) and the body of the
+// service's POST /explorations.
+type Space struct {
+	// Scenario names a registered scenario as the base; Spec carries an
+	// inline one. Exactly one must be set.
+	Scenario string         `json:"scenario,omitempty"`
+	Spec     *scenario.Spec `json:"spec,omitempty"`
+
+	// Static sweeps a custom fixed-size buffer over a capacitance lattice.
+	Static *StaticAxis `json:"static,omitempty"`
+	// Presets adds stock buffer designs (scenario.PresetBuffers names) as
+	// additional points of the buffer axis.
+	Presets []string `json:"presets,omitempty"`
+	// DTs is an optional timestep axis; 0 entries mean the spec's default.
+	DTs []float64 `json:"dts,omitempty"`
+	// Patches are extra spec axes: each multiplies the space by its values,
+	// applied to the base spec at a JSON-pointer path.
+	Patches []PatchAxis `json:"patches,omitempty"`
+
+	// The seed axis: an explicit list (each ≥ 1), or a range
+	// seed_from..seed_to (from defaults to 1). With neither, the spec's
+	// resolved seed is the single point. Every point aggregates its metrics
+	// across all seeds (scenario.AggregateSeeds).
+	Seeds    []uint64 `json:"seeds,omitempty"`
+	SeedFrom uint64   `json:"seed_from,omitempty"`
+	SeedTo   uint64   `json:"seed_to,omitempty"`
+
+	// Strategy selects how points are evaluated: "grid" (default) or
+	// "bisect".
+	Strategy string `json:"strategy,omitempty"`
+	// Target is the metric goal bisection searches for; with the grid
+	// strategy it marks the minimal satisfying point per group instead.
+	Target *Target `json:"target,omitempty"`
+	// Pareto lists the metric pairs to extract frontiers for.
+	Pareto []MetricPair `json:"pareto,omitempty"`
+}
+
+// StaticAxis is a capacitance lattice of custom fixed-size buffers:
+// Points values from From to To, log-spaced by default. The optional
+// electrical fields apply to every lattice point (zero keeps the
+// StaticSpec defaults). The lattice resolution is the bisection tolerance:
+// adjacent log points differ by a factor of (To/From)^(1/(Points-1)).
+type StaticAxis struct {
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+	Points int     `json:"points"`
+	Scale  string  `json:"scale,omitempty"` // "log" (default) or "linear"
+	VMax   float64 `json:"v_max,omitempty"`
+	LeakI  float64 `json:"leak_i,omitempty"`
+	VRated float64 `json:"v_rated,omitempty"`
+}
+
+// values returns the lattice in ascending order.
+func (ax *StaticAxis) values() []float64 {
+	if ax.Scale == "linear" {
+		return runner.Linspace(ax.From, ax.To, ax.Points)
+	}
+	return runner.Logspace(ax.From, ax.To, ax.Points)
+}
+
+// validate checks the axis shape; per-point electrical validity is caught
+// by the derived specs' own validation.
+func (ax *StaticAxis) validate() error {
+	if !(ax.From > 0) || math.IsInf(ax.From, 1) {
+		return fmt.Errorf("explore: static axis: from must be a positive, finite capacitance")
+	}
+	if !(ax.To >= ax.From) || math.IsInf(ax.To, 1) {
+		return fmt.Errorf("explore: static axis: to must be finite and ≥ from")
+	}
+	if ax.Points < 1 || ax.Points > maxCells {
+		return fmt.Errorf("explore: static axis: points must be in 1..%d", maxCells)
+	}
+	// A degenerate multi-point lattice would yield N identical cell
+	// addresses — the same duplicate-axis-point mistake duplicate seeds
+	// and timesteps are rejected for.
+	if ax.Points > 1 && ax.To == ax.From {
+		return fmt.Errorf("explore: static axis: %d points over a zero-width range (set points to 1 or widen from..to)", ax.Points)
+	}
+	if ax.Scale != "" && ax.Scale != "log" && ax.Scale != "linear" {
+		return fmt.Errorf("explore: static axis: unknown scale %q (want log or linear)", ax.Scale)
+	}
+	return nil
+}
+
+// PatchAxis varies one JSON-expressible spec knob: the value at a
+// JSON-pointer path ("/workload/period", "/trace/mean", ...) takes each of
+// Values in turn. Paths into the buffer set, the seed, or the timestep are
+// rejected — those have first-class axes.
+type PatchAxis struct {
+	Path   string    `json:"path"`
+	Values []float64 `json:"values"`
+}
+
+func (pa *PatchAxis) validate() error {
+	if !strings.HasPrefix(pa.Path, "/") || pa.Path == "/" {
+		return fmt.Errorf("explore: patch path %q: want a JSON pointer like /workload/period", pa.Path)
+	}
+	root := strings.SplitN(strings.TrimPrefix(pa.Path, "/"), "/", 2)[0]
+	switch root {
+	case "buffers", "seed", "dt":
+		return fmt.Errorf("explore: patch path %q: %s has a first-class axis", pa.Path, root)
+	}
+	if len(pa.Values) == 0 {
+		return fmt.Errorf("explore: patch %s: at least one value is required", pa.Path)
+	}
+	seen := map[float64]bool{}
+	for _, v := range pa.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("explore: patch %s: values must be finite", pa.Path)
+		}
+		if seen[v] {
+			return fmt.Errorf("explore: patch %s: duplicate value %g", pa.Path, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Target is a metric goal: the metric compared against a bound. Exactly
+// one of Max ("value ≤ max", e.g. latency or dead time ceilings) or Min
+// ("value ≥ min", e.g. a throughput floor) must be set. A point whose
+// metric has no value (latency when no seed ever started) never meets a
+// target.
+type Target struct {
+	// Metric names a point metric: latency, duty, dead_time, efficiency,
+	// or any workload counter mean.
+	Metric string   `json:"metric"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+}
+
+func (t *Target) validate() error {
+	if t.Metric == "" {
+		return fmt.Errorf("explore: target: metric is required")
+	}
+	if (t.Max == nil) == (t.Min == nil) {
+		return fmt.Errorf("explore: target %s: exactly one of max or min is required", t.Metric)
+	}
+	bound := t.Max
+	if bound == nil {
+		bound = t.Min
+	}
+	if math.IsNaN(*bound) || math.IsInf(*bound, 0) {
+		return fmt.Errorf("explore: target %s: bound must be finite", t.Metric)
+	}
+	return nil
+}
+
+// Met reports whether a metric value satisfies the target; ok is false
+// when the point has no value for the metric.
+func (t *Target) Met(v float64, ok bool) bool {
+	if !ok {
+		return false
+	}
+	if t.Max != nil {
+		return v <= *t.Max
+	}
+	return v >= *t.Min
+}
+
+// String renders the goal ("latency ≤ 0.5").
+func (t *Target) String() string {
+	if t.Max != nil {
+		return fmt.Sprintf("%s <= %g", t.Metric, *t.Max)
+	}
+	return fmt.Sprintf("%s >= %g", t.Metric, *t.Min)
+}
+
+// MetricPair selects one Pareto frontier: the two objectives, each a point
+// metric or the axis pseudo-metrics "c" (capacitance) and "dt". Each
+// metric's optimization direction is fixed (MetricDirection).
+type MetricPair struct {
+	X string `json:"x"`
+	Y string `json:"y"`
+}
+
+func (mp *MetricPair) validate() error {
+	if mp.X == "" || mp.Y == "" || mp.X == mp.Y {
+		return fmt.Errorf("explore: pareto pair %q vs %q: want two distinct metrics", mp.X, mp.Y)
+	}
+	return nil
+}
+
+// Point is one resolved design point: a derived single-buffer spec plus
+// its axis coordinates.
+type Point struct {
+	// Spec is the derived scenario: the base's physics with exactly one
+	// buffer, the resolved timestep, and the point's patches applied.
+	Spec *scenario.Spec
+	// Buffer is the point's display name ("REACT", "1.29 mF", ...).
+	Buffer string
+	// C is the static-axis capacitance; 0 for preset points.
+	C float64
+	// DT is the resolved timestep.
+	DT float64
+	// Params maps each patch path to this point's value (nil without
+	// patch axes).
+	Params map[string]float64
+}
+
+// Plan is a resolved Space: the ordered point lattice, the seed axis, and
+// the strategy state. Build one with Space.Resolve.
+type Plan struct {
+	// Base is the resolved base spec (registry clone or validated inline).
+	Base *scenario.Spec
+	// Points is the full lattice in evaluation order: for each patch
+	// combination, for each timestep, the static lattice ascending then
+	// the presets.
+	Points []Point
+	// Seeds is the resolved seed axis (never empty, never 0).
+	Seeds []uint64
+	// Strategy is the resolved strategy name.
+	Strategy string
+	// Target and Pareto echo the space.
+	Target *Target
+	Pareto []MetricPair
+	// groups lists, per (patch, dt) combination, the indices of its
+	// static-lattice points in ascending capacitance order — the bisection
+	// search domains.
+	groups [][]int
+}
+
+// ParseSpace builds and validates a Space from its JSON encoding. Unknown
+// fields are rejected, so a typo'd axis fails loudly instead of silently
+// exploring the wrong space.
+func ParseSpace(data []byte) (*Space, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Space
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("explore: parsing space: %w", err)
+	}
+	if _, err := sp.Resolve(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// staticLabel is the display name of a capacitance lattice point. Six
+// significant digits keep adjacent points of any realistic lattice
+// distinct.
+func staticLabel(c float64) string {
+	switch {
+	case c >= 1:
+		return fmt.Sprintf("%.6g F", c)
+	case c >= 1e-3:
+		return fmt.Sprintf("%.6g mF", c*1e3)
+	default:
+		return fmt.Sprintf("%.6g µF", c*1e6)
+	}
+}
+
+// patchSpec applies one patch combination to the base spec through its
+// JSON encoding and re-validates. Unknown paths fail (the re-decode
+// rejects unknown fields), so a typo never silently no-ops.
+func patchSpec(base *scenario.Spec, patches []PatchAxis, choice []int) (*scenario.Spec, error) {
+	data, err := json.Marshal(base)
+	if err != nil {
+		return nil, fmt.Errorf("explore: encoding base spec: %w", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("explore: decoding base spec: %w", err)
+	}
+	for k, pa := range patches {
+		if err := setPointer(m, pa.Path, pa.Values[choice[k]]); err != nil {
+			return nil, err
+		}
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("explore: encoding patched spec: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	dec.DisallowUnknownFields()
+	var s scenario.Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("explore: patched spec does not decode (unknown patch path?): %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("explore: patched spec invalid: %w", err)
+	}
+	return &s, nil
+}
+
+// setPointer sets the value at a JSON-pointer path, creating intermediate
+// objects a spec's omitempty encoding left out.
+func setPointer(m map[string]any, path string, v float64) error {
+	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	cur := m
+	for _, seg := range segs[:len(segs)-1] {
+		next, ok := cur[seg].(map[string]any)
+		if !ok {
+			if cur[seg] != nil {
+				return fmt.Errorf("explore: patch path %q: %q is not an object", path, seg)
+			}
+			next = map[string]any{}
+			cur[seg] = next
+		}
+		cur = next
+	}
+	cur[segs[len(segs)-1]] = v
+	return nil
+}
+
+// Resolve validates the space and expands it into a Plan: the base spec,
+// the full point lattice in evaluation order, the seed axis and the
+// strategy state. Every derived spec is validated, so a bad axis value
+// (a non-finite capacitance, an out-of-range patch) fails here, before any
+// simulation.
+func (sp *Space) Resolve() (*Plan, error) {
+	var base *scenario.Spec
+	switch {
+	case sp.Scenario != "" && sp.Spec != nil:
+		return nil, fmt.Errorf("explore: set either scenario or spec, not both")
+	case sp.Scenario != "":
+		s, ok := scenario.Lookup(sp.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("explore: unknown scenario %q", sp.Scenario)
+		}
+		base = s
+	case sp.Spec != nil:
+		base = sp.Spec.Clone()
+		if err := base.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("explore: a space needs a scenario name or an inline spec")
+	}
+
+	if sp.Static == nil && len(sp.Presets) == 0 {
+		return nil, fmt.Errorf("explore: a space needs a buffer axis (static range and/or presets)")
+	}
+	if sp.Static != nil {
+		if err := sp.Static.validate(); err != nil {
+			return nil, err
+		}
+	}
+	seenPreset := map[string]bool{}
+	for _, name := range sp.Presets {
+		if _, err := scenario.NewPresetBuffer(name); err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+		if seenPreset[name] {
+			return nil, fmt.Errorf("explore: duplicate preset %q", name)
+		}
+		seenPreset[name] = true
+	}
+	if len(sp.Patches) > 0 && base.Trace.Loaded != nil {
+		return nil, fmt.Errorf("explore: patches need a JSON-expressible spec (the base carries a loaded trace)")
+	}
+	seenPath := map[string]bool{}
+	for i := range sp.Patches {
+		if err := sp.Patches[i].validate(); err != nil {
+			return nil, err
+		}
+		if seenPath[sp.Patches[i].Path] {
+			return nil, fmt.Errorf("explore: duplicate patch path %q", sp.Patches[i].Path)
+		}
+		seenPath[sp.Patches[i].Path] = true
+	}
+
+	strategy := sp.Strategy
+	if strategy == "" {
+		strategy = StrategyGrid
+	}
+	if strategy != StrategyGrid && strategy != StrategyBisect {
+		return nil, fmt.Errorf("explore: unknown strategy %q (want %s or %s)", strategy, StrategyGrid, StrategyBisect)
+	}
+	if sp.Target != nil {
+		if err := sp.Target.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if strategy == StrategyBisect {
+		if len(sp.Presets) > 0 {
+			return nil, fmt.Errorf("explore: bisect searches the capacitance lattice; presets have no place on that axis")
+		}
+		if sp.Target == nil {
+			return nil, fmt.Errorf("explore: bisect needs a target")
+		}
+	}
+	// A target is answered per static-lattice group (the minimal
+	// capacitance meeting it), so without that axis it could only be
+	// silently ignored — reject instead, whatever the strategy.
+	if sp.Target != nil && sp.Static == nil {
+		return nil, fmt.Errorf("explore: a target needs a static capacitance axis to scan")
+	}
+	for i := range sp.Pareto {
+		if err := sp.Pareto[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// The seed and dt axes follow the same rules sweeps resolve with —
+	// one shared implementation in the scenario layer.
+	seeds, err := base.ResolveSeedAxis(sp.Seeds, sp.SeedFrom, sp.SeedTo, maxCells)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	dts, err := base.ResolveDTAxis(sp.DTs)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+
+	// The buffer axis: the capacitance lattice ascending, then the presets.
+	var bufSpecs []scenario.BufferSpec
+	var bufC []float64
+	if sp.Static != nil {
+		for _, c := range sp.Static.values() {
+			bufSpecs = append(bufSpecs, scenario.BufferSpec{
+				Label: staticLabel(c),
+				Static: &scenario.StaticSpec{
+					C: c, VMax: sp.Static.VMax, LeakI: sp.Static.LeakI, VRated: sp.Static.VRated,
+				},
+			})
+			bufC = append(bufC, c)
+		}
+	}
+	for _, name := range sp.Presets {
+		bufSpecs = append(bufSpecs, scenario.BufferSpec{Preset: name})
+		bufC = append(bufC, 0)
+	}
+
+	// Bound the space arithmetically BEFORE expanding anything: a small
+	// request body can describe a huge cross product, and Resolve runs on
+	// the service's submission path.
+	nCombos := 1
+	for _, pa := range sp.Patches {
+		if nCombos > maxCells/len(pa.Values) {
+			nCombos = maxCells + 1
+			break
+		}
+		nCombos *= len(pa.Values)
+	}
+	nPoints := nCombos
+	for _, n := range []int{len(dts), len(bufSpecs), len(seeds)} {
+		if nPoints > maxCells/n {
+			nPoints = maxCells + 1
+			break
+		}
+		nPoints *= n
+	}
+	if nPoints > maxCells {
+		return nil, fmt.Errorf("explore: %d patch combos × %d dts × %d buffers × %d seeds exceed the %d-cell bound",
+			nCombos, len(dts), len(bufSpecs), len(seeds), maxCells)
+	}
+
+	// Patch combinations in axis order, first axis outermost.
+	combos := [][]int{nil}
+	for _, pa := range sp.Patches {
+		var next [][]int
+		for _, c := range combos {
+			for vi := range pa.Values {
+				next = append(next, append(append([]int(nil), c...), vi))
+			}
+		}
+		combos = next
+	}
+
+	plan := &Plan{Base: base, Seeds: seeds, Strategy: strategy, Target: sp.Target, Pareto: sp.Pareto}
+	nStatic := 0
+	if sp.Static != nil {
+		nStatic = sp.Static.Points
+	}
+	for _, choice := range combos {
+		patched := base
+		var params map[string]float64
+		if len(sp.Patches) > 0 {
+			if patched, err = patchSpec(base, sp.Patches, choice); err != nil {
+				return nil, err
+			}
+			params = map[string]float64{}
+			for k, pa := range sp.Patches {
+				params[pa.Path] = pa.Values[choice[k]]
+			}
+		}
+		for _, dt := range dts {
+			if nStatic > 0 {
+				plan.groups = append(plan.groups, make([]int, 0, nStatic))
+			}
+			for bi, bs := range bufSpecs {
+				derived := patched.Clone()
+				derived.Buffers = []scenario.BufferSpec{bs}
+				derived.DT = dt
+				if err := derived.Validate(); err != nil {
+					return nil, fmt.Errorf("explore: point %q: %w", bs.DisplayName(), err)
+				}
+				if bi < nStatic {
+					g := plan.groups[len(plan.groups)-1]
+					plan.groups[len(plan.groups)-1] = append(g, len(plan.Points))
+				}
+				plan.Points = append(plan.Points, Point{
+					Spec:   derived,
+					Buffer: bs.DisplayName(),
+					C:      bufC[bi],
+					DT:     dt,
+					Params: params,
+				})
+			}
+		}
+	}
+	if total := len(plan.Points) * len(seeds); total > maxCells {
+		return nil, fmt.Errorf("explore: %d cells (%d points × %d seeds) exceed the %d-cell bound",
+			total, len(plan.Points), len(seeds), maxCells)
+	}
+	return plan, nil
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"math"
+	"sort"
 
 	"react/internal/sim"
 )
@@ -22,13 +23,18 @@ type MeanStd struct {
 
 // meanStd computes the population mean ± std over vs, guarding the
 // negative-variance rounding corner the same way the CLI always has.
+// Values are accumulated in ascending order, so the statistic depends only
+// on the multiset of values — summary rows are bit-identical however the
+// caller happened to order the per-seed results.
 func meanStd(vs []float64) MeanStd {
 	n := float64(len(vs))
 	if n == 0 {
 		return MeanStd{}
 	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
 	var sum, sumSq float64
-	for _, v := range vs {
+	for _, v := range sorted {
 		sum += v
 		sumSq += v * v
 	}

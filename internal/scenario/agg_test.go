@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"react/internal/scenario"
@@ -28,6 +29,62 @@ func TestAggregateSeeds(t *testing.T) {
 	}
 	if m := s.Metrics["blocks"]; m.Mean != 4 {
 		t.Errorf("blocks mean %g, want 4", m.Mean)
+	}
+}
+
+// TestAggregateSeedsSingleResult pins the n=1 corner: a population of one
+// has zero spread, and the mean is the value itself — no NaN from the
+// variance subtraction.
+func TestAggregateSeedsSingleResult(t *testing.T) {
+	s := scenario.AggregateSeeds([]sim.Result{
+		{Latency: 0.37, OnTime: 6, Duration: 10, Metrics: map[string]float64{"blocks": 41}},
+	})
+	if s.Seeds != 1 || s.Started != 1 {
+		t.Fatalf("seeds %d started %d, want 1 and 1", s.Seeds, s.Started)
+	}
+	for label, ms := range map[string]scenario.MeanStd{
+		"latency": s.Latency, "duty": s.Duty, "blocks": s.Metrics["blocks"],
+	} {
+		if math.IsNaN(ms.Mean) || math.IsNaN(ms.Std) {
+			t.Errorf("%s: NaN in %+v", label, ms)
+		}
+		if ms.Std != 0 {
+			t.Errorf("%s: std %g over a single result, want exactly 0", label, ms.Std)
+		}
+	}
+	if s.Latency.Mean != 0.37 || s.Metrics["blocks"].Mean != 41 {
+		t.Errorf("single-result means wrong: %+v", s)
+	}
+}
+
+// TestAggregateSeedsOrderInvariant pins determinism under shuffled result
+// order: the summary depends only on the multiset of per-seed results, not
+// on the order the caller assembled them in (meanStd accumulates in sorted
+// order, so even floating-point rounding cannot differ).
+func TestAggregateSeedsOrderInvariant(t *testing.T) {
+	mk := func(perm []int) []sim.Result {
+		// Values chosen to exercise rounding: their FP sums genuinely
+		// depend on accumulation order without the sort.
+		lat := []float64{0.1, 1e9, 0.3, -1, 7e-8}
+		blocks := []float64{1e16, 3, 1e-3, 2.5, 1e16}
+		out := make([]sim.Result, len(perm))
+		for i, p := range perm {
+			out[i] = sim.Result{
+				Latency: lat[p], OnTime: float64(p), Duration: 10,
+				Metrics: map[string]float64{"blocks": blocks[p]},
+			}
+		}
+		return out
+	}
+	ref := scenario.AggregateSeeds(mk([]int{0, 1, 2, 3, 4}))
+	for _, perm := range [][]int{
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{1, 4, 0, 3, 2},
+	} {
+		if got := scenario.AggregateSeeds(mk(perm)); !reflect.DeepEqual(got, ref) {
+			t.Errorf("order %v: summary diverged:\n got %+v\nwant %+v", perm, got, ref)
+		}
 	}
 }
 

@@ -98,6 +98,52 @@ func TestRegisterRejectsDuplicatesAndInvalidSpecs(t *testing.T) {
 	}
 }
 
+// TestStaticSpecRejectsNonFiniteFields pins the NaN/Inf guard on custom
+// static buffers: NaN passes any `<= 0` comparison, so every StaticSpec
+// field must be demanded finite by name — and the same check must hold on
+// both the validation path (Spec.Validate) and the construction path
+// (BufferSpec.Build), which share one implementation.
+func TestStaticSpecRejectsNonFiniteFields(t *testing.T) {
+	mk := func(mutate func(*scenario.StaticSpec)) scenario.BufferSpec {
+		st := &scenario.StaticSpec{C: 1e-3}
+		mutate(st)
+		return scenario.BufferSpec{Label: "custom", Static: st}
+	}
+	cases := map[string]scenario.BufferSpec{
+		"NaN c":        mk(func(st *scenario.StaticSpec) { st.C = math.NaN() }),
+		"+Inf c":       mk(func(st *scenario.StaticSpec) { st.C = math.Inf(1) }),
+		"zero c":       mk(func(st *scenario.StaticSpec) { st.C = 0 }),
+		"negative c":   mk(func(st *scenario.StaticSpec) { st.C = -1e-3 }),
+		"NaN v_max":    mk(func(st *scenario.StaticSpec) { st.VMax = math.NaN() }),
+		"Inf v_max":    mk(func(st *scenario.StaticSpec) { st.VMax = math.Inf(1) }),
+		"NaN leak_i":   mk(func(st *scenario.StaticSpec) { st.LeakI = math.NaN() }),
+		"-Inf leak_i":  mk(func(st *scenario.StaticSpec) { st.LeakI = math.Inf(-1) }),
+		"NaN v_rated":  mk(func(st *scenario.StaticSpec) { st.VRated = math.NaN() }),
+		"+Inf v_rated": mk(func(st *scenario.StaticSpec) { st.VRated = math.Inf(1) }),
+	}
+	for label, bs := range cases {
+		spec := &scenario.Spec{
+			Name:     "static-guard",
+			Trace:    scenario.TraceSpec{Gen: "steady", Duration: 10},
+			Workload: scenario.WorkloadSpec{Bench: "DE"},
+			Buffers:  []scenario.BufferSpec{bs},
+		}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate must reject it", label)
+		} else if !strings.Contains(err.Error(), "static") {
+			t.Errorf("%s: error does not name the static field: %v", label, err)
+		}
+		if _, err := bs.Build(); err == nil {
+			t.Errorf("%s: Build must reject it", label)
+		}
+	}
+	// The well-formed defaults still build.
+	good := scenario.BufferSpec{Label: "ok", Static: &scenario.StaticSpec{C: 1e-3}}
+	if _, err := good.Build(); err != nil {
+		t.Fatalf("defaulted static buffer must build: %v", err)
+	}
+}
+
 func TestSpecJSONRoundTrip(t *testing.T) {
 	for _, s := range scenario.Extended() {
 		data, err := s.JSON()

@@ -303,6 +303,27 @@ type StaticSpec struct {
 	VRated float64 `json:"v_rated,omitempty"`
 }
 
+// validate checks the static parameters — the one implementation shared
+// by BufferSpec.validate and BufferSpec.Build, so the two can never
+// drift. NaN fails every comparison, so a plain `<= 0` check would wave a
+// NaN capacitance straight through to the capacitor model; every field is
+// therefore demanded finite by name, and C positive as well (the other
+// fields keep "zero or negative selects the default").
+func (st *StaticSpec) validate(label string) error {
+	if math.IsNaN(st.C) || math.IsInf(st.C, 0) || st.C <= 0 {
+		return fmt.Errorf("buffer %q: static c must be a positive, finite capacitance", label)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"v_max", st.VMax}, {"leak_i", st.LeakI}, {"v_rated", st.VRated}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("buffer %q: static %s must be finite (zero selects the default)", label, f.name)
+		}
+	}
+	return nil
+}
+
 // BufferSpec selects one energy buffer of a scenario. Exactly one of
 // Preset, Static, or New must be set.
 type BufferSpec struct {
@@ -332,8 +353,8 @@ func (bs BufferSpec) Build() (buffer.Buffer, error) {
 		return bs.New(), nil
 	case bs.Static != nil:
 		st := *bs.Static
-		if st.C <= 0 {
-			return nil, fmt.Errorf("buffer %q: static capacitance must be positive", bs.DisplayName())
+		if err := st.validate(bs.DisplayName()); err != nil {
+			return nil, err
 		}
 		if st.VMax <= 0 {
 			st.VMax = 3.6
@@ -376,8 +397,8 @@ func (bs BufferSpec) validate() error {
 	if bs.Label == "" {
 		return fmt.Errorf("buffer: custom buffers need a label")
 	}
-	if bs.Static != nil && bs.Static.C <= 0 {
-		return fmt.Errorf("buffer %q: static capacitance must be positive", bs.Label)
+	if bs.Static != nil {
+		return bs.Static.validate(bs.Label)
 	}
 	return nil
 }

@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"react/internal/explore"
 )
 
 // Client talks to a reactd server. Create with Dial; the zero value is not
@@ -260,4 +262,87 @@ func (r *RemoteSweep) finish(st *SweepStatus) (*SweepStatus, error) {
 		return st, nil
 	}
 	return st, fmt.Errorf("service: sweep %s %s: %s", st.ID, st.Status, st.Error)
+}
+
+// ExploreAsync submits a design-space exploration and returns a handle
+// immediately; the server probes the space in the background, every point
+// attached to the shared content-addressed cell cache. Poll or Wait the
+// handle for partial cells and the assembled result.
+func (c *Client) ExploreAsync(ctx context.Context, space *explore.Space) (*RemoteExploration, error) {
+	var st ExploreStatus
+	if err := c.do(ctx, http.MethodPost, "/explorations", space, &st); err != nil {
+		return nil, err
+	}
+	return &RemoteExploration{c: c, ID: st.ID, Submitted: &st}, nil
+}
+
+// Explore submits and waits: the synchronous convenience over
+// ExploreAsync. The returned status carries the exploration's
+// explore.Result — bit-identical to running the same space locally — or an
+// error for a failed or cancelled exploration.
+func (c *Client) Explore(ctx context.Context, space *explore.Space) (*ExploreStatus, error) {
+	re, err := c.ExploreAsync(ctx, space)
+	if err != nil {
+		return nil, err
+	}
+	return re.Wait(ctx)
+}
+
+// RemoteExploration is a submitted exploration's handle.
+type RemoteExploration struct {
+	c  *Client
+	ID string
+	// Submitted is the submission response; cache accounting grows on
+	// later polls as the strategy attaches further batches.
+	Submitted *ExploreStatus
+}
+
+// Poll fetches the exploration's current status: probed cells carry
+// results as they complete, and Result appears once the strategy drains.
+func (r *RemoteExploration) Poll(ctx context.Context) (*ExploreStatus, error) {
+	var st ExploreStatus
+	if err := r.c.do(ctx, http.MethodGet, "/explorations/"+url.PathEscape(r.ID), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel asks the server to stop the exploration. Cells shared with other
+// live work keep simulating; cells only this exploration wanted are
+// dropped.
+func (r *RemoteExploration) Cancel(ctx context.Context) error {
+	return r.c.do(ctx, http.MethodDelete, "/explorations/"+url.PathEscape(r.ID), nil, nil)
+}
+
+// Wait polls until the exploration reaches a terminal state. A failed or
+// cancelled exploration returns its final status alongside an error.
+func (r *RemoteExploration) Wait(ctx context.Context) (*ExploreStatus, error) {
+	if r.Submitted != nil && Terminal(r.Submitted.Status) {
+		return r.finish(r.Submitted)
+	}
+	delay := 10 * time.Millisecond
+	for {
+		st, err := r.Poll(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(st.Status) {
+			return r.finish(st)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < 500*time.Millisecond {
+			delay += delay / 2
+		}
+	}
+}
+
+func (r *RemoteExploration) finish(st *ExploreStatus) (*ExploreStatus, error) {
+	if st.Status == StatusDone {
+		return st, nil
+	}
+	return st, fmt.Errorf("service: exploration %s %s: %s", st.ID, st.Status, st.Error)
 }

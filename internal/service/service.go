@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"react/internal/explore"
 	"react/internal/scenario"
 	"react/internal/sim"
 )
@@ -79,6 +80,8 @@ type Server struct {
 	// Monotonic counters (atomic: bumped from cell goroutines).
 	submitted, hits, coalesced, misses, evictions   atomic.Uint64 // run submissions
 	sweeps                                          atomic.Uint64 // sweep submissions
+	explorations                                    atomic.Uint64 // exploration submissions
+	explorePoints, exploreCells                     atomic.Uint64 // exploration points evaluated / cells attached
 	cellHits, cellCoalesced, cellMisses, cellEvicts atomic.Uint64 // cell attachments
 	cellsQueued, cellsDone                          atomic.Uint64 // scheduled cells of any outcome (queue depth)
 	simsOK, simsFailed                              atomic.Uint64 // actual simulations: succeeded / errored
@@ -140,11 +143,11 @@ type cellKey struct {
 	Buffer string  // display name
 }
 
-// view is one tracked submission — a run or a sweep — assembled from
-// shared cells.
+// view is one tracked submission — a run, a sweep, or an exploration —
+// assembled from shared cells.
 type view struct {
 	id      string
-	kind    string // "run" or "sweep"
+	kind    string // "run", "sweep" or "exploration"
 	fp      string // whole-run fingerprint; "" for sweeps and uncacheable specs
 	spec    *scenario.Spec
 	opt     scenario.RunOptions
@@ -157,7 +160,20 @@ type view struct {
 	dts     []float64
 	buffers []string
 
-	// Submission-time cache accounting (immutable after creation).
+	// Exploration state: the resolved plan, the engine's per-view cancel,
+	// each cell's point index (parallel to cells), and — once the engine
+	// drains — its result or error. An exploration attaches cells batch by
+	// batch as its strategy probes the lattice, so cells/keys/points and
+	// the cache accounting below GROW over the view's lifetime; all of it
+	// is guarded by Server.mu.
+	plan      *explore.Plan
+	vcancel   context.CancelFunc
+	points    []int
+	expResult *explore.Result
+	expErr    error
+
+	// Submission-time cache accounting (immutable after creation for runs
+	// and sweeps; grows under Server.mu for explorations).
 	cachedCells, coalescedCells, newCells int
 
 	elem *list.Element // slot in home once terminal
@@ -209,6 +225,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("DELETE /sweeps/{id}", s.handleSweepDelete)
+	mux.HandleFunc("POST /explorations", s.handleExploreSubmit)
+	mux.HandleFunc("GET /explorations/{id}", s.handleExplore)
+	mux.HandleFunc("DELETE /explorations/{id}", s.handleExploreDelete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
@@ -368,8 +387,8 @@ func (s *Server) newView(kind, prefix string, spec *scenario.Spec, opt scenario.
 }
 
 // addCell attaches one cell to the view and keeps the submission-time
-// cache accounting. Called with s.mu held.
-func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOptions, key cellKey) {
+// cache accounting, returning the shared cell. Called with s.mu held.
+func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOptions, key cellKey) *cell {
 	c, state := s.attachCell(spec, i, opt)
 	v.cells = append(v.cells, c)
 	v.keys = append(v.keys, key)
@@ -381,6 +400,7 @@ func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOp
 	case cellFresh:
 		v.newCells++
 	}
+	return c
 }
 
 // track publishes the view and arranges its finalization: synchronously
@@ -420,16 +440,28 @@ func (s *Server) finalizeLocked(v *view) {
 	s.releaseCells(v)
 	v.mu.Lock()
 	status, errMsg := StatusDone, ""
-	for _, c := range v.cells {
-		if c.err == "" {
-			continue
+	if v.kind == "exploration" {
+		// An exploration's outcome is the engine's, not the cells': bisect
+		// legitimately leaves lattice points unevaluated, and a shared cell
+		// failing surfaces as the engine error.
+		switch {
+		case v.canceled || errors.Is(v.expErr, context.Canceled):
+			status, errMsg = StatusCanceled, context.Canceled.Error()
+		case v.expErr != nil:
+			status, errMsg = StatusFailed, v.expErr.Error()
 		}
-		if c.err == context.Canceled.Error() {
-			status, errMsg = StatusCanceled, c.err
-		} else {
-			status, errMsg = StatusFailed, fmt.Sprintf("%s: %s", c.buffer, c.err)
+	} else {
+		for _, c := range v.cells {
+			if c.err == "" {
+				continue
+			}
+			if c.err == context.Canceled.Error() {
+				status, errMsg = StatusCanceled, c.err
+			} else {
+				status, errMsg = StatusFailed, fmt.Sprintf("%s: %s", c.buffer, c.err)
+			}
+			break
 		}
-		break
 	}
 	if v.canceled {
 		status, errMsg = StatusCanceled, context.Canceled.Error()
@@ -566,63 +598,16 @@ type SweepAxes struct {
 // resolves defaults: no seeds means the spec's one resolved seed, a seed
 // range spans [from, to] with from defaulting to 1, no dts means the
 // spec's one resolved timestep, and no buffer subset means every buffer.
+// The seed and dt rules live in scenario (ResolveSeedAxis/ResolveDTAxis),
+// shared with the exploration subsystem.
 func ResolveSweepAxes(spec *scenario.Spec, req *SweepRequest) (SweepAxes, error) {
 	var ax SweepAxes
-	switch {
-	case len(req.Seeds) > 0:
-		if req.SeedFrom != 0 || req.SeedTo != 0 {
-			return ax, errors.New("sweep: set either seeds or seed_from/seed_to, not both")
-		}
-		seen := map[uint64]bool{}
-		for _, seed := range req.Seeds {
-			if seed == 0 {
-				return ax, errors.New("sweep: seed 0 is not expressible (seeds start at 1)")
-			}
-			// A repeated seed would double-weight that run in every
-			// summary statistic without simulating anything new.
-			if seen[seed] {
-				return ax, fmt.Errorf("sweep: duplicate seed %d", seed)
-			}
-			seen[seed] = true
-		}
-		ax.Seeds = append([]uint64(nil), req.Seeds...)
-	case req.SeedTo != 0:
-		from := req.SeedFrom
-		if from == 0 {
-			from = 1
-		}
-		if req.SeedTo < from {
-			return ax, fmt.Errorf("sweep: empty seed range %d..%d", from, req.SeedTo)
-		}
-		if req.SeedTo-from >= maxSweepCells {
-			return ax, fmt.Errorf("sweep: seed range %d..%d exceeds the %d-cell bound", from, req.SeedTo, maxSweepCells)
-		}
-		for seed := from; seed <= req.SeedTo; seed++ {
-			ax.Seeds = append(ax.Seeds, seed)
-		}
-	case req.SeedFrom != 0:
-		return ax, errors.New("sweep: seed_from needs seed_to")
-	default:
-		ax.Seeds = []uint64{ResolveSeed(spec, 0)}
+	var err error
+	if ax.Seeds, err = spec.ResolveSeedAxis(req.Seeds, req.SeedFrom, req.SeedTo, maxSweepCells); err != nil {
+		return ax, fmt.Errorf("sweep: %w", err)
 	}
-	if len(req.DTs) > 0 {
-		seenDT := map[float64]bool{}
-		for _, dt := range req.DTs {
-			if err := (scenario.RunOptions{DT: dt}).Validate(); err != nil {
-				return ax, fmt.Errorf("sweep: %w", err)
-			}
-			// Dedup after resolution: 0 and the spec's spelled-out default
-			// are the same axis point and would yield two identical
-			// summary rows.
-			rdt := resolveDT(spec, dt)
-			if seenDT[rdt] {
-				return ax, fmt.Errorf("sweep: duplicate timestep %g", rdt)
-			}
-			seenDT[rdt] = true
-			ax.DTs = append(ax.DTs, rdt)
-		}
-	} else {
-		ax.DTs = []float64{resolveDT(spec, 0)}
+	if ax.DTs, err = spec.ResolveDTAxis(req.DTs); err != nil {
+		return ax, fmt.Errorf("sweep: %w", err)
 	}
 	if len(req.Buffers) > 0 {
 		seenBuf := map[int]bool{}
@@ -682,29 +667,17 @@ func (s *Server) SubmitSweep(spec *scenario.Spec, ax SweepAxes) *SweepStatus {
 	return s.sweepStatus(v)
 }
 
-// ResolveSeed resolves the effective seed of a spec under an override,
-// mirroring the scenario layer: 0 means the spec's seed, which itself
-// defaults to 1.
+// ResolveSeed resolves the effective seed of a spec under an override:
+// 0 means the spec's seed, which itself defaults to 1 (the scenario
+// layer's rule, shared via Spec.ResolveSeed).
 func ResolveSeed(spec *scenario.Spec, seed uint64) uint64 {
-	if seed != 0 {
-		return seed
-	}
-	if spec.Seed != 0 {
-		return spec.Seed
-	}
-	return 1
+	return spec.ResolveSeed(seed)
 }
 
 // resolveDT resolves the effective timestep of a spec under an override,
 // mirroring the engine's defaults (0 → the spec's → 1 ms).
 func resolveDT(spec *scenario.Spec, dt float64) float64 {
-	if dt > 0 {
-		return dt
-	}
-	if spec.DT > 0 {
-		return spec.DT
-	}
-	return 1e-3
+	return spec.ResolveDT(dt)
 }
 
 // --- wire snapshots ---
@@ -814,6 +787,9 @@ func (s *Server) metrics() *Metrics {
 		Workers:       s.workers,
 		Submitted:     s.submitted.Load(),
 		Sweeps:        s.sweeps.Load(),
+		Explorations:  s.explorations.Load(),
+		ExplorePoints: s.explorePoints.Load(),
+		ExploreCells:  s.exploreCells.Load(),
 		CacheHits:     s.hits.Load(),
 		Coalesced:     s.coalesced.Load(),
 		CacheMisses:   s.misses.Load(),
@@ -991,7 +967,11 @@ func (s *Server) deleteView(v *view) {
 	if !terminal {
 		// Leave the whole-run index immediately so new identical
 		// submissions start fresh instead of attaching to a dying run, and
-		// release the cells: ones nobody else wants are cancelled.
+		// release the cells: ones nobody else wants are cancelled. An
+		// exploration's engine is stopped too, so no further batches attach.
+		if v.vcancel != nil {
+			v.vcancel()
+		}
 		if v.fp != "" && s.byFP[v.fp] == v {
 			delete(s.byFP, v.fp)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"react/internal/buffer"
+	"react/internal/explore"
 	"react/internal/scenario"
 	"react/internal/sim"
 )
@@ -186,6 +187,44 @@ func (st *SweepStatus) Row(buffer string, dt float64) (*SweepSummary, bool) {
 	return nil, false
 }
 
+// ExploreCellStatus is one probed cell of an exploration: seed Seed of
+// lattice point Point. Cells appear batch by batch as the strategy probes,
+// and carry results as they complete.
+type ExploreCellStatus struct {
+	Point  int         `json:"point"`
+	Buffer string      `json:"buffer"`
+	Seed   uint64      `json:"seed"`
+	DT     float64     `json:"dt"`
+	Done   bool        `json:"done"`
+	Error  string      `json:"error,omitempty"`
+	Result *CellResult `json:"result,omitempty"`
+}
+
+// ExploreStatus is the submit/poll view of an exploration. While the
+// strategy probes, Cells grows and the cache accounting
+// (CachedCells/CoalescedCells/NewCells) grows with it; the assembled
+// explore.Result — evaluated points, bisection bests, Pareto frontiers —
+// appears once the exploration is done. Its numbers are computed by the
+// same engine a local `reactsim -explore` runs, so remote results are
+// bit-identical to local ones for the same space and seeds.
+type ExploreStatus struct {
+	ID              string              `json:"id"`
+	Scenario        string              `json:"scenario"`
+	Strategy        string              `json:"strategy"`
+	Status          string              `json:"status"`
+	Error           string              `json:"error,omitempty"`
+	Created         time.Time           `json:"created"`
+	Finished        *time.Time          `json:"finished,omitempty"`
+	Seeds           []uint64            `json:"seeds"`
+	TotalPoints     int                 `json:"total_points"`
+	EvaluatedPoints int                 `json:"evaluated_points"`
+	CachedCells     int                 `json:"cached_cells"`
+	CoalescedCells  int                 `json:"coalesced_cells"`
+	NewCells        int                 `json:"new_cells"`
+	Cells           []ExploreCellStatus `json:"cells"`
+	Result          *explore.Result     `json:"result,omitempty"`
+}
+
 // ScenarioInfo is one registry entry in the GET /scenarios listing.
 type ScenarioInfo struct {
 	Name        string   `json:"name"`
@@ -224,6 +263,9 @@ type Metrics struct {
 	Workers       int     `json:"workers"`
 	Submitted     uint64  `json:"runs_submitted"`
 	Sweeps        uint64  `json:"sweeps_submitted"`
+	Explorations  uint64  `json:"explorations_submitted"`
+	ExplorePoints uint64  `json:"explore_points_evaluated"`
+	ExploreCells  uint64  `json:"explore_cells"`
 	CacheHits     uint64  `json:"cache_hits"`
 	Coalesced     uint64  `json:"coalesced"`
 	CacheMisses   uint64  `json:"cache_misses"`

@@ -40,6 +40,7 @@ import (
 	"react/internal/buffer"
 	"react/internal/capybara"
 	"react/internal/core"
+	"react/internal/explore"
 	"react/internal/harvest"
 	"react/internal/mcu"
 	"react/internal/morphy"
@@ -300,6 +301,61 @@ func RunScenario(ctx context.Context, name string, opt ScenarioOptions) (*Scenar
 	return s.Run(ctx, nil, opt)
 }
 
+// Design-space exploration types: the subsystem that turns the scenario
+// layer into an optimizer — a declarative Space (a base scenario crossed
+// with capacitance lattices, preset subsets, timestep values, seed ranges
+// and JSON-patchable knobs) explored by an exhaustive grid or an adaptive
+// bisection toward a metric target, with Pareto frontiers extracted over
+// chosen metric pairs. `reactsim -explore` and reactd's POST /explorations
+// drive the same engine.
+type (
+	// ExploreSpace is a declarative design-space exploration.
+	ExploreSpace = explore.Space
+	// ExploreStaticAxis is a capacitance lattice of custom static buffers.
+	ExploreStaticAxis = explore.StaticAxis
+	// ExplorePatchAxis varies one JSON-expressible spec knob.
+	ExplorePatchAxis = explore.PatchAxis
+	// ExploreTarget is a metric goal ("latency ≤ 0.5", "blocks ≥ 100").
+	ExploreTarget = explore.Target
+	// ExploreMetricPair selects one Pareto frontier's two objectives.
+	ExploreMetricPair = explore.MetricPair
+	// ExploreResult is a completed exploration: points, bests, frontiers.
+	ExploreResult = explore.Result
+	// ExplorePointResult is one lattice point's outcome.
+	ExplorePointResult = explore.PointResult
+	// ExploreBest is one bisection (or grid scan) outcome.
+	ExploreBest = explore.Best
+	// ExploreFrontier is one extracted Pareto frontier.
+	ExploreFrontier = explore.Frontier
+	// ExploreJob is a background exploration's handle (ExploreAsync).
+	ExploreJob = explore.Job
+	// ExplorationStatus is a remote exploration's submit/poll view.
+	ExplorationStatus = service.ExploreStatus
+	// RemoteExploration is a submitted remote exploration's handle
+	// (Client.ExploreAsync).
+	RemoteExploration = service.RemoteExploration
+)
+
+// ParseExploreSpace builds and validates an ExploreSpace from its JSON
+// encoding — the same format `reactsim -explore` reads and POST
+// /explorations accepts.
+func ParseExploreSpace(data []byte) (*ExploreSpace, error) { return explore.ParseSpace(data) }
+
+// Explore runs a design-space exploration locally: every probed point
+// simulates over the experiment engine's worker pool (0 = GOMAXPROCS),
+// deduplicated by content address within the exploration. The result is
+// deterministic for any worker count and bit-identical to what a reactd
+// serves for the same space and seeds.
+func Explore(ctx context.Context, space *ExploreSpace, workers int) (*ExploreResult, error) {
+	return explore.Run(ctx, space, explore.Local(workers))
+}
+
+// ExploreAsync starts Explore in the background and returns immediately;
+// Wait the handle for the result, or Cancel it between batches.
+func ExploreAsync(ctx context.Context, space *ExploreSpace, workers int) *ExploreJob {
+	return explore.Async(ctx, space, explore.Local(workers))
+}
+
 // Simulation-service types: the reactd daemon's building blocks (serve
 // scenarios over HTTP with a content-addressed, single-flight result
 // cache) and the Go client that talks to one.
@@ -356,7 +412,8 @@ func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
 // responds. Client.Run submits and waits; Client.RunAsync returns a
 // RemoteRun handle for polling, partial results and cancellation.
 // Client.Sweep and Client.SweepAsync submit seed × dt × buffer sweeps,
-// which share cells with runs and other sweeps through the daemon's
+// and Client.Explore/ExploreAsync submit design-space explorations; all of
+// them share cells with runs and each other through the daemon's
 // content-addressed cache.
 func Dial(baseURL string) (*Client, error) { return service.Dial(baseURL) }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -252,5 +253,59 @@ func TestServiceFacade(t *testing.T) {
 	}
 	if len(infos) != len(react.Scenarios()) {
 		t.Errorf("service lists %d scenarios, registry has %d", len(infos), len(react.Scenarios()))
+	}
+}
+
+func TestExploreFacade(t *testing.T) {
+	space, err := react.ParseExploreSpace([]byte(`{
+		"spec": {
+			"name": "facade-explore",
+			"trace": {"gen": "steady", "mean": 0.01, "duration": 20},
+			"workload": {"bench": "DE"},
+			"buffers": [{"preset": "REACT"}]
+		},
+		"static": {"from": 500e-6, "to": 5e-3, "points": 3},
+		"presets": ["REACT"],
+		"pareto": [{"x": "c", "y": "latency"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := react.Explore(ctx, space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 4 || len(res.Frontiers) != 1 {
+		t.Fatalf("exploration wrong: evaluated %d, %d frontiers", res.Evaluated, len(res.Frontiers))
+	}
+
+	// The async handle delivers the same result.
+	job := react.ExploreAsync(ctx, space, 2)
+	async, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(async, res) {
+		t.Error("async exploration diverged from the synchronous one")
+	}
+
+	// And the remote path serves the identical result from a daemon.
+	srv := react.NewService(react.ServiceConfig{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	client, err := react.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Explore(ctx, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Result, res) {
+		t.Error("remote exploration diverged from the local one")
 	}
 }
