@@ -37,6 +37,7 @@ func runCell(_ context.Context, bench string, tr *react.Trace, buf string) (reac
 // benchTable2 runs one Table 2 benchmark column set over the RF traces and
 // reports the REACT and static means.
 func benchTable2(b *testing.B, bench string) {
+	b.ReportAllocs()
 	perf := func(r react.Result) float64 { return experiments.Perf(bench, r) }
 	for i := 0; i < b.N; i++ {
 		g, err := react.RunGrid(context.Background(), nil,
@@ -62,6 +63,7 @@ func BenchmarkTable2_RT(b *testing.B) { benchTable2(b, "RT") }
 // BenchmarkTable3_Traces regenerates Table 3: synthesizing the five
 // evaluation traces and computing their statistics.
 func BenchmarkTable3_Traces(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		traces := react.EvaluationTraces(uint64(i + 1))
 		var cv float64
@@ -75,6 +77,7 @@ func BenchmarkTable3_Traces(b *testing.B) {
 // BenchmarkTable4_Latency regenerates the latency table on the RF traces
 // and reports the REACT-vs-17 mF speedup (paper: 7.7x over all traces).
 func BenchmarkTable4_Latency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g, err := react.RunGrid(context.Background(), nil,
 			[]string{"DE"}, rfTraces(), []string{"REACT", "17 mF"}, runCell)
@@ -100,6 +103,7 @@ func BenchmarkTable4_Latency(b *testing.B) {
 // BenchmarkTable5_PF regenerates the Packet Forwarding table on the RF
 // traces.
 func BenchmarkTable5_PF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := react.Sweep(context.Background(), nil, rfTraces(),
 			func(_ context.Context, tr *react.Trace) (react.Result, error) {
@@ -122,6 +126,7 @@ func BenchmarkTable5_PF(b *testing.B) {
 // opens beyond the paper's fixed grid: DE on five fresh RF Cart instances,
 // reporting the across-seed mean and spread of the figure of merit.
 func BenchmarkSeedSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		blocks, err := react.Sweep(context.Background(), nil, react.SweepSeeds(5),
 			func(_ context.Context, seed uint64) (float64, error) {
@@ -153,6 +158,7 @@ func BenchmarkSeedSweep(b *testing.B) {
 // BenchmarkFigure1 regenerates the Figure 1 static-buffer comparison on the
 // pedestrian solar trace.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runs, err := experiments.Figure1(experiments.Options{})
 		if err != nil {
@@ -166,6 +172,7 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkFigure6 regenerates the Figure 6 voltage recordings (SC under
 // RF Mobile, four buffers).
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		series, err := experiments.Figure6(experiments.Options{})
 		if err != nil {
@@ -179,6 +186,7 @@ func BenchmarkFigure6(b *testing.B) {
 // 5 traces × 5 buffers) and reports the paper's headline improvements.
 // One iteration takes about a minute.
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g, err := experiments.RunGrid(experiments.Options{})
 		if err != nil {
@@ -194,6 +202,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 // BenchmarkBackgroundStats regenerates the §2.1 background analysis.
 func BenchmarkBackgroundStats(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bg, err := experiments.RunBackground(experiments.Options{})
 		if err != nil {
@@ -206,6 +215,7 @@ func BenchmarkBackgroundStats(b *testing.B) {
 
 // BenchmarkOverhead regenerates the §5.1 overhead characterization.
 func BenchmarkOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o, err := experiments.RunOverhead(experiments.Options{})
 		if err != nil {
@@ -220,6 +230,7 @@ func BenchmarkOverhead(b *testing.B) {
 // computing one dissipative reconfiguration of a unified eight-capacitor
 // array (E10 in DESIGN.md), and reports the loss fraction.
 func BenchmarkSwitchingLoss(b *testing.B) {
+	b.ReportAllocs()
 	var frac float64
 	for i := 0; i < b.N; i++ {
 		m := react.NewMorphy(react.DefaultMorphyConfig())
@@ -236,6 +247,7 @@ func BenchmarkSwitchingLoss(b *testing.B) {
 
 // BenchmarkBankSizing measures the Equation 1/2 computations (E11).
 func BenchmarkBankSizing(b *testing.B) {
+	b.ReportAllocs()
 	var v float64
 	for i := 0; i < b.N; i++ {
 		v += react.VoltageAfterReclaim(3, 880e-6, 770e-6, 1.9)
@@ -248,6 +260,7 @@ func BenchmarkBankSizing(b *testing.B) {
 // BenchmarkReclamation measures the §3.3.4 charge-reclamation path: a full
 // REACT contraction cascade from charged-parallel to disconnected (E12).
 func BenchmarkReclamation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf := react.NewREACT(react.DefaultConfig())
 		// Charge fully with the device on so the controller expands.
@@ -285,6 +298,7 @@ func sweepBlocks[P any](b *testing.B, points []P, cfg func(P) react.SimConfig) [
 // BenchmarkAblationDiode (A1) compares REACT built with active ideal
 // diodes against Schottky isolation diodes on the bursty RF Cart trace.
 func BenchmarkAblationDiode(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		blocks := sweepBlocks(b, []float64{0, 0.3}, func(drop float64) react.SimConfig {
 			cfg := react.DefaultConfig()
@@ -304,6 +318,7 @@ func BenchmarkAblationDiode(b *testing.B) {
 
 // BenchmarkAblationPollRate (A2) sweeps the controller polling rate.
 func BenchmarkAblationPollRate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		blocks := sweepBlocks(b, []float64{1, 10, 100}, func(hz float64) react.SimConfig {
 			cfg := react.DefaultConfig()
@@ -324,6 +339,7 @@ func BenchmarkAblationPollRate(b *testing.B) {
 
 // BenchmarkAblationBanks (A3) sweeps how finely the bank fabric is divided.
 func BenchmarkAblationBanks(b *testing.B) {
+	b.ReportAllocs()
 	full := react.DefaultConfig().Banks
 	// One big bank with the same total capacitance (2 × 8.63 mF).
 	coarse := []react.BankSpec{{N: 2, UnitC: 8.63e-3, LeakI: 2e-6, VRated: 6.3}}
@@ -345,6 +361,7 @@ func BenchmarkAblationBanks(b *testing.B) {
 // BenchmarkAblationTimestep (A4) checks result stability across integration
 // timesteps (0.5 ms vs 2 ms vs the default 1 ms).
 func BenchmarkAblationTimestep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		blocks, err := react.Sweep(context.Background(), nil, []float64{0.5e-3, 1e-3, 2e-3},
 			func(_ context.Context, dt float64) (float64, error) {
@@ -367,6 +384,7 @@ func BenchmarkAblationTimestep(b *testing.B) {
 // BenchmarkSimThroughput measures raw engine speed: simulated seconds per
 // wall-clock second for a REACT buffer under load.
 func BenchmarkSimThroughput(b *testing.B) {
+	b.ReportAllocs()
 	buf := react.NewREACT(react.DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -378,6 +396,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 
 // BenchmarkTraceGeneration measures synthetic-trace synthesis speed.
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = trace.SolarCampus(uint64(i + 1))
 	}
@@ -388,6 +407,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // RF Cart trace: discrete pre-provisioned banks versus a continuously
 // reconfigurable fabric.
 func BenchmarkExtensionCapybara(b *testing.B) {
+	b.ReportAllocs()
 	mk := []func() react.Buffer{
 		func() react.Buffer { return react.NewCapybara(react.DefaultCapybaraConfig()) },
 		func() react.Buffer { return react.NewREACT(react.DefaultConfig()) },
@@ -411,6 +431,7 @@ func BenchmarkExtensionCapybara(b *testing.B) {
 // benchmark accumulates when deadlines survive power failures through a
 // remanence timekeeper instead of a perfect external clock.
 func BenchmarkExtensionTimekeeper(b *testing.B) {
+	b.ReportAllocs()
 	prof := react.DefaultProfile()
 	mk := []func() react.Workload{
 		func() react.Workload { return react.NewSenseCompute(prof.SleepI) },
@@ -442,6 +463,7 @@ func BenchmarkExtensionTimekeeper(b *testing.B) {
 // trades stored energy at wake-up for responsiveness — without escaping
 // the size tradeoff.
 func BenchmarkAblationEnableVoltage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		samples, err := react.Sweep(context.Background(), nil, []float64{2.2, 3.3},
 			func(_ context.Context, vEnable float64) (float64, error) {
@@ -470,6 +492,7 @@ func BenchmarkAblationEnableVoltage(b *testing.B) {
 // BenchmarkAblationLLB (A6, ours) sweeps REACT's last-level buffer size:
 // the knob trading cold-start latency against the minimum work quantum.
 func BenchmarkAblationLLB(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := react.Sweep(context.Background(), nil, []float64{330e-6, 770e-6, 2e-3},
 			func(_ context.Context, llb float64) (react.Result, error) {
@@ -497,6 +520,7 @@ func BenchmarkAblationLLB(b *testing.B) {
 // reclamation trigger V_low. Too close to the brownout voltage risks dying
 // before reclaiming; too high reclaims early and wastes headroom.
 func BenchmarkAblationThresholds(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tx, err := react.Sweep(context.Background(), nil, []float64{1.85, 1.9, 2.2},
 			func(_ context.Context, vLow float64) (float64, error) {
@@ -526,6 +550,7 @@ func BenchmarkAblationThresholds(b *testing.B) {
 // the next transmission is affordable, beating the fixed-enable static on
 // RT — but it cannot escape the capacity limit the way REACT does.
 func BenchmarkExtensionDewdrop(b *testing.B) {
+	b.ReportAllocs()
 	prof := react.DefaultProfile()
 	txEnergy := 4.95e-3 * 1.4
 	mk := []func() react.Buffer{

@@ -44,6 +44,10 @@
 // bit-identical to their local equivalents for the same inputs (the
 // daemon aggregates and explores with the same code).
 //
+// -cpuprofile and -memprofile write pprof profiles (any mode): the CPU
+// profile covers the whole run, and the heap profile is captured on exit
+// after a final GC. Inspect with `go tool pprof`.
+//
 // Buffers: "770 µF", "10 mF", "17 mF", "Morphy", "REACT", plus the
 // related-work extensions "Capybara" and "Dewdrop".
 // Benchmarks: DE, SC, RT, PF (plus ML and MIX in scenario specs).
@@ -57,6 +61,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -93,7 +99,12 @@ func namedTrace(name string, seed uint64) (*trace.Trace, error) {
 	return tr, nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with an exit code instead of os.Exit calls, so the
+// deferred profile writers actually run — os.Exit would skip them and
+// truncate -cpuprofile output to a useless header.
+func run() int {
 	var (
 		traceName = flag.String("trace", "cart", "built-in trace name")
 		traceFile = flag.String("tracefile", "", "CSV trace file (overrides -trace)")
@@ -112,8 +123,41 @@ func main() {
 		remote    = flag.String("remote", "", "target a reactd daemon (http://host:port) instead of simulating locally")
 		explFile  = flag.String("explore", "", "run a design-space exploration from a JSON space file")
 		targetStr = flag.String("target", "", `exploration metric goal ("latency<=0.5", "blocks>=100"); needs -explore`)
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reactsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reactsim:", err)
+			}
+		}()
+	}
 
 	// Which flags did the user set explicitly? Scenario specs carry their
 	// own seed and timestep, so only explicit -seed/-dt override them, and
@@ -124,46 +168,46 @@ func main() {
 	// Conflicting mode selections are an error, never a silent precedence.
 	if err := checkModeConflicts(explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "reactsim:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *list {
 		listScenarios()
-		return
+		return 0
 	}
 
 	if *explFile != "" {
 		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "seed", "seeds", "dt"} {
 			if explicit[bad] {
 				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to explorations (the space file defines the axes)\n", bad)
-				os.Exit(2)
+				return 2
 			}
 		}
 		if *remote != "" && explicit["workers"] {
 			fmt.Fprintln(os.Stderr, "reactsim: -workers does not apply to remote explorations (the daemon owns the pool)")
-			os.Exit(2)
+			return 2
 		}
 		if err := runExplore(*explFile, *targetStr, *remote, *workers, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *remote != "" {
 		if *scenName == "" && *scenFile == "" {
 			fmt.Fprintln(os.Stderr, "reactsim: -remote needs -scenario or -scenario-file (the daemon serves scenario specs)")
-			os.Exit(2)
+			return 2
 		}
 		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "workers"} {
 			if explicit[bad] {
 				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to remote runs (the daemon owns the simulation)\n", bad)
-				os.Exit(2)
+				return 2
 			}
 		}
 		if explicit["seed"] && *seeds > 1 {
 			fmt.Fprintln(os.Stderr, "reactsim: set -seed or -seeds, not both")
-			os.Exit(2)
+			return 2
 		}
 		seedOverride, dtOverride := uint64(0), 0.0
 		if explicit["seed"] {
@@ -174,16 +218,16 @@ func main() {
 		}
 		if err := runRemote(*remote, *scenName, *scenFile, seedOverride, dtOverride, *seeds, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *scenName != "" || *scenFile != "" {
 		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "seeds", "record", "v"} {
 			if explicit[bad] {
 				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to scenario runs (scenarios define their own trace, workload and buffer set)\n", bad)
-				os.Exit(2)
+				return 2
 			}
 		}
 		seedOverride, dtOverride := uint64(0), 0.0
@@ -195,34 +239,34 @@ func main() {
 		}
 		if err := runScenario(*scenName, *scenFile, seedOverride, *workers, dtOverride, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *jsonOut {
 		fmt.Fprintln(os.Stderr, "reactsim: -json requires -scenario or -scenario-file")
-		os.Exit(2)
+		return 2
 	}
 
 	// The experiment factories panic on unknown names (a fixed set); turn
 	// bad CLI input into a friendly error instead of a stack trace.
 	if err := validateNames(*bufName, *bench); err != nil {
 		fmt.Fprintln(os.Stderr, "reactsim:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *seeds > 1 {
 		if err := sweepSeeds(*traceName, *traceFile, *bufName, *bench, *seeds, *dt); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	tr, err := loadTrace(*traceName, *traceFile, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reactsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	opt := experiments.Options{Seed: *seed, DT: *dt}
@@ -232,7 +276,7 @@ func main() {
 	res, err := experiments.RunCell(tr, *bufName, *bench, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reactsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	s := tr.Stats()
@@ -269,15 +313,16 @@ func main() {
 		f, err := os.Create(*record)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := experiments.WriteSeriesCSV(f, res.Buffer, res.Samples); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("recorded %d samples to %s\n", len(res.Samples), *record)
 	}
+	return 0
 }
 
 // listScenarios prints the registry: the extended catalogue first, then

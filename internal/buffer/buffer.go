@@ -83,3 +83,20 @@ type EnableHinter interface {
 	// EnableVoltage returns the buffer-recommended wake-up voltage.
 	EnableVoltage() float64
 }
+
+// Quiescent is implemented by buffers that can prove a power-gated tick
+// would change nothing. The batched simulator uses it to fast-forward dead
+// time: while the device is off, the harvester delivers nothing, and the
+// buffer is quiescent, entire tick stretches are exact no-ops and the clock
+// can jump over them without stepping.
+//
+// QuiescentOff must return true only when Tick(now, dt, false) would leave
+// every bit of buffer state unchanged for any now and dt — typically: no
+// leakable charge, no overvoltage to clip, no pending internal relaxation,
+// and any poll timer already at its device-off reset value. Buffers that
+// cannot prove this (e.g. Morphy, whose externally powered controller polls
+// regardless of device state) simply do not implement the interface and are
+// always stepped tick by tick.
+type Quiescent interface {
+	QuiescentOff() bool
+}

@@ -122,6 +122,10 @@ func (d *Dewdrop) Tick(now, dt float64, deviceOn bool) {
 	d.ledger.Leaked += d.cap.Leak(dt)
 }
 
+// QuiescentOff implements Quiescent: like Static, the off-tick is leakage
+// only.
+func (d *Dewdrop) QuiescentOff() bool { return d.cap.LeakI <= 0 || d.cap.Q <= 0 }
+
 // Ledger implements Buffer.
 func (d *Dewdrop) Ledger() *Ledger { return &d.ledger }
 

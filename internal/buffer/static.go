@@ -77,6 +77,11 @@ func (s *Static) Tick(now, dt float64, deviceOn bool) {
 	s.ledger.Leaked += s.cap.Leak(dt)
 }
 
+// QuiescentOff implements Quiescent: a static buffer's off-tick is only
+// leakage, which is a no-op exactly when Leak would return without touching
+// the charge (no leakage current, or nothing left to leak).
+func (s *Static) QuiescentOff() bool { return s.cap.LeakI <= 0 || s.cap.Q <= 0 }
+
 // Ledger implements Buffer.
 func (s *Static) Ledger() *Ledger { return &s.ledger }
 

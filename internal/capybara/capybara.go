@@ -246,6 +246,24 @@ func (b *Buffer) railNodes() []circuit.Node {
 	return ns
 }
 
+// QuiescentOff implements buffer.Quiescent. A device-off tick leaks and
+// clips every bank, then resets the poll phase; it is a no-op exactly when
+// every bank has nothing to leak or clip and the poll timer already sits at
+// its reset value (true from the first off-tick on, since the reset is
+// idempotent). The comparisons mirror circuit.Capacitor.Leak/Clip and Tick
+// bit for bit.
+func (b *Buffer) QuiescentOff() bool {
+	for _, c := range b.banks {
+		if c.LeakI > 0 && c.Q > 0 {
+			return false
+		}
+		if c.VMax > 0 && c.Voltage() > c.VMax {
+			return false
+		}
+	}
+	return b.poll == 1/b.cfg.PollHz
+}
+
 // Ledger implements buffer.Buffer.
 func (b *Buffer) Ledger() *buffer.Ledger { return &b.ledger }
 

@@ -99,6 +99,11 @@ type Buffer struct {
 	// scratch backs connected() so the per-tick Harvest path does not
 	// allocate; its contents are only valid within one call.
 	scratch []circuit.Node
+
+	// guarantee caches GuaranteedEnergy per level. The table depends only
+	// on the immutable config, and workloads probe it every step through
+	// buffer.LevelFor, so it is computed once at construction.
+	guarantee []float64
 }
 
 var (
@@ -120,6 +125,11 @@ func New(cfg Config) *Buffer {
 	}
 	if b.poll == 0 && cfg.PollHz > 0 {
 		b.poll = 1 / cfg.PollHz
+	}
+	b.guarantee = make([]float64, b.MaxLevel()+1)
+	for lvl := 1; lvl <= b.MaxLevel(); lvl++ {
+		c := b.capacitanceAtStep(lvl - 1)
+		b.guarantee[lvl] = 0.5 * c * (b.cfg.VHigh*b.cfg.VHigh - b.cfg.VMin*b.cfg.VMin)
 	}
 	return b
 }
@@ -337,6 +347,36 @@ func (b *Buffer) stepDown() {
 	b.relax()
 }
 
+// QuiescentOff implements buffer.Quiescent. A device-off tick relaxes the
+// output diodes, leaks and clips every capacitor, and resets the poll
+// phase; it is a no-op exactly when no bank diode is forward-biased, no
+// capacitor has charge to leak or clip, and the poll timer already sits at
+// its reset value (true from the first off-tick on, since the reset is
+// idempotent). Each comparison mirrors the corresponding Tick step bit for
+// bit: the relax donor threshold, circuit.Capacitor.Leak/Clip, Bank.Leak,
+// and Bank.ClipTerminal.
+func (b *Buffer) QuiescentOff() bool {
+	best := b.llb.Voltage() + b.cfg.DiodeDrop + 1e-9
+	for _, bank := range b.banks {
+		if bank.Spec.LeakI > 0 && bank.q > 0 {
+			return false
+		}
+		if bank.State == Disconnected {
+			continue
+		}
+		if v := bank.Voltage(); v > best || (b.cfg.VMax > 0 && v > b.cfg.VMax) {
+			return false
+		}
+	}
+	if b.llb.LeakI > 0 && b.llb.Q > 0 {
+		return false
+	}
+	if b.llb.VMax > 0 && b.llb.Voltage() > b.llb.VMax {
+		return false
+	}
+	return b.poll == 1/b.cfg.PollHz
+}
+
 // Ledger implements buffer.Buffer.
 func (b *Buffer) Ledger() *buffer.Ledger { return &b.ledger }
 
@@ -362,8 +402,7 @@ func (b *Buffer) GuaranteedEnergy(level int) float64 {
 	if level > b.MaxLevel() {
 		level = b.MaxLevel()
 	}
-	c := b.capacitanceAtStep(level - 1)
-	return 0.5 * c * (b.cfg.VHigh*b.cfg.VHigh - b.cfg.VMin*b.cfg.VMin)
+	return b.guarantee[level]
 }
 
 // capacitanceAtStep returns the equivalent rail capacitance after the first

@@ -107,20 +107,36 @@ func RunGrid(opt Options) (*Grid, error) {
 // that need cancellation, a bounded pool, or progress reporting. The grid
 // cells are the registered paper scenarios: each (benchmark × trace) pair
 // resolves through the scenario registry, so the paper's evaluation and
-// the extended catalogue run through one definition of each cell.
+// the extended catalogue run through one definition of each cell. Each
+// (benchmark × trace) group runs its five buffers in lockstep over a
+// single pass of the shared trace (scenario.RunBatch).
 func RunGridOn(ctx context.Context, r *runner.Runner, opt Options) (*Grid, error) {
 	traces := trace.Evaluation(opt.seed())
-	return runner.RunGrid(ctx, r, BenchmarkNames, traces, BufferNames,
-		func(ctx context.Context, bench string, tr *trace.Trace, buf string) (sim.Result, error) {
+	return runner.RunGridBatched(ctx, r, BenchmarkNames, traces, BufferNames,
+		func(ctx context.Context, bench string, tr *trace.Trace, buffers []string) ([]sim.Result, error) {
 			sp, ok := scenario.Lookup(scenario.PaperName(bench, tr.Name))
 			if !ok {
-				return sim.Result{}, fmt.Errorf("paper scenario %q not registered", scenario.PaperName(bench, tr.Name))
+				return nil, fmt.Errorf("paper scenario %q not registered", scenario.PaperName(bench, tr.Name))
 			}
 			// The grid shares each materialized trace across its 20 cells;
 			// feed it to the spec (Lookup returns a clone) instead of
 			// re-running the synthetic generator once per cell.
 			sp.Trace = scenario.TraceSpec{Loaded: tr}
-			return sp.CellNamed(buf, opt.scenarioOptions())
+			items := make([]scenario.BatchItem, len(buffers))
+			for i, name := range buffers {
+				idx := -1
+				for j, bs := range sp.Buffers {
+					if bs.DisplayName() == name {
+						idx = j
+						break
+					}
+				}
+				if idx < 0 {
+					return nil, fmt.Errorf("scenario %s: no buffer %q", sp.Name, name)
+				}
+				items[i] = scenario.BatchItem{Spec: sp, Buffer: idx}
+			}
+			return scenario.RunBatch(items, opt.scenarioOptions(), nil)
 		})
 }
 

@@ -140,6 +140,17 @@ type Device struct {
 	Cycles     int
 	CycleTime  float64
 	cycleStart float64
+
+	// env is reused across steps so the workload's *Env view never escapes
+	// to the heap on the tick path (a per-tick allocation at simulation
+	// rates; workloads only read it within Step).
+	env Env
+	// bound caches the buffer's optional-interface lookups; a device steps
+	// against one buffer for a whole run, so the per-tick type assertions
+	// collapse to one pointer comparison.
+	bound   buffer.Buffer
+	hinter  buffer.EnableHinter
+	leveler buffer.Leveler
 }
 
 // NewDevice builds a device in the Off state.
@@ -155,12 +166,17 @@ func (d *Device) Powered() bool { return d.state != Off }
 
 // Step advances the device by dt seconds, drawing energy from buf.
 func (d *Device) Step(now, dt float64, buf buffer.Buffer) {
+	if d.bound != buf {
+		d.bound = buf
+		d.hinter, _ = buf.(buffer.EnableHinter)
+		d.leveler, _ = buf.(buffer.Leveler)
+	}
 	v := buf.OutputVoltage()
 	switch d.state {
 	case Off:
 		venable := d.Prof.VEnable
-		if h, ok := buf.(buffer.EnableHinter); ok {
-			venable = h.EnableVoltage()
+		if d.hinter != nil {
+			venable = d.hinter.EnableVoltage()
 		}
 		if v >= venable {
 			d.state = Booting
@@ -187,17 +203,15 @@ func (d *Device) Step(now, dt float64, buf buffer.Buffer) {
 			d.WL.PowerOn(now)
 		}
 	} else {
-		env := Env{
+		d.env = Env{
 			Now:          now,
 			Voltage:      v,
 			VMin:         d.Prof.VBrownout,
 			Capacitance:  buf.Capacitance(),
 			OverheadFrac: buf.SoftwareOverheadFraction(),
+			Levels:       d.leveler,
 		}
-		if lv, ok := buf.(buffer.Leveler); ok {
-			env.Levels = lv
-		}
-		current = d.WL.Step(&env, dt)
+		current = d.WL.Step(&d.env, dt)
 	}
 
 	need := v * current * dt

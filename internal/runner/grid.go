@@ -127,6 +127,39 @@ func (g *Grid) MeanOverTraces(bench, buffer string, metric func(sim.Result) floa
 // CellFunc simulates one grid cell.
 type CellFunc func(ctx context.Context, bench string, tr *trace.Trace, buffer string) (sim.Result, error)
 
+// BatchCellFunc simulates one benchmark × trace group of grid cells — the
+// whole buffer row — in one call, returning results index-parallel to the
+// grid's buffer axis.
+type BatchCellFunc func(ctx context.Context, bench string, tr *trace.Trace, buffers []string) ([]sim.Result, error)
+
+// RunGridBatched populates a new grid like RunGrid, but dispatches one job
+// per benchmark × trace group instead of one per cell, so a group's buffers
+// can share a single lockstep pass over the trace (scenario.RunBatch). The
+// flat grid layout is buffer-minor, so each group fills one contiguous
+// results stripe. Group errors are labeled with their coordinates; the
+// first failing group in grid order is reported.
+func RunGridBatched(ctx context.Context, r *Runner, benchmarks []string, traces []*trace.Trace, buffers []string, group BatchCellFunc) (*Grid, error) {
+	g := NewGrid(benchmarks, traces, buffers)
+	nb := len(buffers)
+	err := r.Do(ctx, len(benchmarks)*len(traces), func(ctx context.Context, gi int) error {
+		bench := benchmarks[gi/len(traces)]
+		tr := traces[gi%len(traces)]
+		res, err := group(ctx, bench, tr, buffers)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", bench, tr.Name, err)
+		}
+		if len(res) != nb {
+			return fmt.Errorf("%s/%s: group returned %d results for %d buffers", bench, tr.Name, len(res), nb)
+		}
+		copy(g.results[gi*nb:(gi+1)*nb], res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // RunGrid populates a new grid by running cell for every benchmark × trace ×
 // buffer combination over r's worker pool (nil r uses the default pool).
 // Cell errors are labeled with their coordinates; the first failing cell in

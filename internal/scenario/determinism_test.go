@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -92,6 +93,46 @@ func TestScenarioDeterminism(t *testing.T) {
 				label := spec.Name + "/" + spec.Buffers[i].DisplayName()
 				equalResults(t, label+" (1 vs 8 workers)", serial.Results[i], wide.Results[i])
 				equalResults(t, label+" (back-to-back)", wide.Results[i], again.Results[i])
+			}
+		})
+	}
+}
+
+// TestScenarioBatchSizeDeterminism pins the batched executor's core
+// contract at the scenario layer: splitting a scenario's buffers into
+// lockstep batches of 1, 2, or all-at-once must leave every result
+// bit-identical to the worker-pool path that spec.Run takes.
+func TestScenarioBatchSizeDeterminism(t *testing.T) {
+	for _, spec := range determinismSpecs(t) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && spec.Long {
+				t.Skip("long scenario; run without -short")
+			}
+			run, err := spec.Run(context.Background(), &runner.Runner{Workers: 4}, scenario.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{1, 2, len(spec.Buffers)} {
+				for lo := 0; lo < len(spec.Buffers); lo += size {
+					hi := lo + size
+					if hi > len(spec.Buffers) {
+						hi = len(spec.Buffers)
+					}
+					var items []scenario.BatchItem
+					for i := lo; i < hi; i++ {
+						items = append(items, scenario.BatchItem{Spec: spec, Buffer: i})
+					}
+					res, err := scenario.RunBatch(items, scenario.RunOptions{}, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := lo; i < hi; i++ {
+						label := spec.Name + "/" + spec.Buffers[i].DisplayName()
+						equalResults(t, fmt.Sprintf("%s (batch size %d)", label, size),
+							run.Results[i], res[i-lo])
+					}
+				}
 			}
 		})
 	}

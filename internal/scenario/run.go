@@ -128,20 +128,31 @@ func (s *Spec) CellNamed(buffer string, opt RunOptions) (sim.Result, error) {
 // Run simulates every buffer of the spec over r's worker pool (nil r uses
 // a pool bounded by opt.Workers, or GOMAXPROCS). Results are deterministic
 // for any worker count.
+//
+// The buffer axis is partitioned into one contiguous chunk per worker
+// slot: with at least as many workers as buffers this degenerates to the
+// old cell-per-job fan-out, and with fewer workers the cells that would
+// have queued behind a busy pool share lockstep trace passes (RunBatch)
+// instead. Chunking never changes results — only how many cells ride one
+// pass.
 func (s *Spec) Run(ctx context.Context, r *runner.Runner, opt RunOptions) (*Run, error) {
 	if r == nil && opt.Workers > 0 {
 		r = &runner.Runner{Workers: opt.Workers}
 	}
-	idx := make([]int, len(s.Buffers))
-	for i := range idx {
-		idx[i] = i
-	}
-	results, err := runner.Sweep(ctx, r, idx, func(_ context.Context, i int) (sim.Result, error) {
-		res, err := s.Cell(i, opt)
-		if err != nil {
-			return sim.Result{}, fmt.Errorf("%s: %w", s.Buffers[i].DisplayName(), err)
+	chunks := runner.Chunks(len(s.Buffers), r.Slots())
+	results := make([]sim.Result, len(s.Buffers))
+	err := r.Do(ctx, len(chunks), func(_ context.Context, ci int) error {
+		lo, hi := chunks[ci][0], chunks[ci][1]
+		items := make([]BatchItem, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			items = append(items, BatchItem{Spec: s, Buffer: i})
 		}
-		return res, nil
+		res, err := RunBatch(items, opt, nil)
+		if err != nil {
+			return err
+		}
+		copy(results[lo:hi], res)
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -83,6 +83,7 @@ func TestDeleteRunningRunKeepsSweepSharedCells(t *testing.T) {
 	ctx := context.Background()
 	started := make(chan int, 4)
 	release := make(chan struct{})
+	unblock := mustUnblock(t, release)
 	srv.Submit(blockerSpec(started, release), scenario.RunOptions{})
 	<-started // the blocker owns the only worker; everything below queues
 
@@ -111,7 +112,7 @@ func TestDeleteRunningRunKeepsSweepSharedCells(t *testing.T) {
 	if err := rr.Cancel(ctx); err != nil {
 		t.Fatal(err)
 	}
-	close(release)
+	unblock()
 
 	final, err := (&RemoteSweep{c: c, ID: sweep.ID}).Wait(ctx)
 	if err != nil {
@@ -141,6 +142,7 @@ func TestDeleteFinishedRunKeepsSweepSharedCells(t *testing.T) {
 
 	started := make(chan int, 4)
 	release := make(chan struct{})
+	unblock := mustUnblock(t, release)
 	srv.Submit(blockerSpec(started, release), scenario.RunOptions{})
 	<-started
 
@@ -177,7 +179,7 @@ func TestDeleteFinishedRunKeepsSweepSharedCells(t *testing.T) {
 		t.Errorf("cell misses went %d -> %d, want unchanged", misses0.CellMisses, m.CellMisses)
 	}
 
-	close(release)
+	unblock()
 	if _, err := (&RemoteSweep{c: c, ID: sweep.ID}).Wait(ctx); err != nil {
 		t.Fatal(err)
 	}

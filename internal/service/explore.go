@@ -78,6 +78,7 @@ func (s *Server) exploreEvaluator(v *view, vctx context.Context) explore.Evaluat
 		}
 		s.exploreCells.Add(uint64(len(cells)))
 		s.explorePoints.Add(uint64(len(points)))
+		s.flushPending()
 		s.mu.Unlock()
 
 		out := make([]sim.Result, len(cells))

@@ -172,6 +172,7 @@ func TestExploreCancel(t *testing.T) {
 	ctx := context.Background()
 	started := make(chan int, 4)
 	release := make(chan struct{})
+	unblock := mustUnblock(t, release)
 	srv.Submit(blockerSpec(started, release), scenario.RunOptions{})
 	<-started
 
@@ -186,7 +187,7 @@ func TestExploreCancel(t *testing.T) {
 	if err := re.Cancel(ctx); err != nil {
 		t.Fatal(err)
 	}
-	close(release)
+	unblock()
 	final, err := re.Wait(ctx)
 	if err == nil || final.Status != StatusCanceled {
 		t.Fatalf("want a canceled exploration, got status %q err %v", final.Status, err)

@@ -85,6 +85,8 @@ type Server struct {
 	cellHits, cellCoalesced, cellMisses, cellEvicts atomic.Uint64 // cell attachments
 	cellsQueued, cellsDone                          atomic.Uint64 // scheduled cells of any outcome (queue depth)
 	simsOK, simsFailed                              atomic.Uint64 // actual simulations: succeeded / errored
+	// Batched-executor accounting (sim.Stats totals across every batch).
+	ticksSimulated, ticksFastForwarded, tracePasses atomic.Uint64
 
 	// mu guards the stores below and every cell/view list-membership and
 	// refcount field. Lock order: mu before view.mu.
@@ -96,6 +98,29 @@ type Server struct {
 	cellLRU *list.List       // cached done cells, most recently used first
 	viewLRU *list.List       // done views kept for polling/dedup, MRU first
 	junk    *list.List       // failed/cancelled views kept briefly for polling
+	// pending holds fresh cells attached but not yet scheduled: a
+	// submission attaches all its cells first, then flushPending groups
+	// them by (trace, seed, dt) batch key so cells sharing a trace pass
+	// run in lockstep (scenario.RunBatch) instead of one pass each.
+	pending []pendingCell
+}
+
+// pendingCell is one fresh cell awaiting batch scheduling.
+type pendingCell struct {
+	c    *cell
+	spec *scenario.Spec
+	i    int
+	opt  scenario.RunOptions
+}
+
+// batchKey groups pending cells that can share one lockstep trace pass:
+// the same trace spec, effective seed and effective timestep (recording
+// cadence rides along because it is uniform per batch call).
+type batchKey struct {
+	trace scenario.TraceSpec
+	seed  uint64
+	dt    float64
+	rec   float64
 }
 
 // junkRuns bounds the failed/cancelled views kept around for polling. They
@@ -278,16 +303,67 @@ func (s *Server) attachCell(spec *scenario.Spec, i int, opt scenario.RunOptions)
 		s.cells[fp] = c
 	}
 	s.cellMisses.Add(1)
-	s.startCell(c, spec, i, opt)
+	s.pending = append(s.pending, pendingCell{c: c, spec: spec, i: i, opt: opt})
 	return c, cellFresh
 }
 
-// startCell schedules a fresh cell over the global semaphore. Called with
-// s.mu held; returns immediately.
-func (s *Server) startCell(c *cell, spec *scenario.Spec, i int, opt scenario.RunOptions) {
+// flushPending groups the pending fresh cells by batch key and schedules
+// one lockstep batch per group, so a sweep's cells sharing a (trace, seed,
+// dt) address make one pass over the trace however many buffers ride it.
+// Called with s.mu held after a submission attaches all its cells.
+func (s *Server) flushPending() {
+	pend := s.pending
+	s.pending = nil
+	groups := map[batchKey][]pendingCell{}
+	var order []batchKey
+	for _, p := range pend {
+		k := batchKey{
+			trace: p.spec.Trace,
+			seed:  p.spec.ResolveSeed(p.opt.Seed),
+			dt:    p.spec.ResolveDT(p.opt.DT),
+			rec:   p.opt.RecordDT,
+		}
+		if p.c.fp == "" {
+			// Unfingerprintable cells carry arbitrary Go constructors the
+			// service cannot reason about (side effects, shared state), so
+			// they keep per-cell scheduling: each runs as a batch of one,
+			// finishing — and cancelling — independently.
+			s.startBatch([]pendingCell{p}, scenario.RunOptions{Seed: k.seed, DT: k.dt, RecordDT: k.rec})
+			continue
+		}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	for _, k := range order {
+		// Fully resolved options apply uniformly to every member, whatever
+		// each spec's own defaults were (resolution is deterministic, so
+		// results match per-cell runs bit for bit).
+		s.startBatch(groups[k], scenario.RunOptions{Seed: k.seed, DT: k.dt, RecordDT: k.rec})
+	}
+}
+
+// startBatch schedules one lockstep batch over the global semaphore: the
+// whole batch occupies a single worker slot and makes a single pass over
+// its trace. Each member cell's cancel releases only that member; the
+// batch context is cancelled when every member has been released, so one
+// abandoned cell never kills siblings another view still wants. Called
+// with s.mu held; returns immediately.
+func (s *Server) startBatch(group []pendingCell, opt scenario.RunOptions) {
 	ctx, cancel := context.WithCancel(s.ctx)
-	c.cancel = cancel
-	s.cellsQueued.Add(1)
+	remaining := int64(len(group))
+	for _, p := range group {
+		var once sync.Once
+		p.c.cancel = func() {
+			once.Do(func() {
+				if atomic.AddInt64(&remaining, -1) == 0 {
+					cancel()
+				}
+			})
+		}
+	}
+	s.cellsQueued.Add(uint64(len(group)))
 	s.jobs.Add(1)
 	go func() {
 		defer s.jobs.Done()
@@ -295,12 +371,33 @@ func (s *Server) startCell(c *cell, spec *scenario.Spec, i int, opt scenario.Run
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
-			s.finishCell(c, sim.Result{}, ctx.Err())
+			for _, p := range group {
+				s.finishCell(p.c, sim.Result{}, ctx.Err())
+			}
 			return
 		}
-		res, err := spec.Cell(i, opt)
+		items := make([]scenario.BatchItem, len(group))
+		for i, p := range group {
+			items[i] = scenario.BatchItem{Spec: p.spec, Buffer: p.i}
+		}
+		var st sim.Stats
+		res, err := scenario.RunBatch(items, opt, &st)
 		<-s.sem
-		s.finishCell(c, res, err)
+		s.ticksSimulated.Add(st.TicksSimulated)
+		s.ticksFastForwarded.Add(st.TicksFastForwarded)
+		s.tracePasses.Add(st.TracePasses)
+		if err != nil {
+			// A batch fails as a unit: a member that cannot even build its
+			// cell poisons the shared pass, and every sibling reports the
+			// same labeled error.
+			for _, p := range group {
+				s.finishCell(p.c, sim.Result{}, err)
+			}
+			return
+		}
+		for i, p := range group {
+			s.finishCell(p.c, res[i], nil)
+		}
 	}()
 }
 
@@ -559,6 +656,7 @@ func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus
 	for i := range spec.Buffers {
 		s.addCell(v, spec, i, opt, cellKey{Seed: seed, DT: resolveDT(spec, opt.DT), Buffer: spec.Buffers[i].DisplayName()})
 	}
+	s.flushPending()
 	// The submission's cache disposition: a run with no fresh cells was
 	// served entirely from shared cells — from the cache when nothing is
 	// in flight, coalesced otherwise.
@@ -662,6 +760,7 @@ func (s *Server) SubmitSweep(spec *scenario.Spec, ax SweepAxes) *SweepStatus {
 			}
 		}
 	}
+	s.flushPending()
 	s.track(v)
 	s.mu.Unlock()
 	return s.sweepStatus(v)
@@ -808,6 +907,10 @@ func (s *Server) metrics() *Metrics {
 		CellsRunning:  len(s.sem),
 		SimsCompleted: s.simsOK.Load(),
 		SimsFailed:    s.simsFailed.Load(),
+
+		TicksSimulated:     s.ticksSimulated.Load(),
+		TicksFastForwarded: s.ticksFastForwarded.Load(),
+		TracePasses:        s.tracePasses.Load(),
 	}
 	if m.Submitted > 0 {
 		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)

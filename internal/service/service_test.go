@@ -219,10 +219,27 @@ func blockingSpec(n int, started chan<- int, release <-chan struct{}) *scenario.
 	}
 }
 
+// mustUnblock returns an idempotent closer for a blocker's release channel
+// and registers it via t.Cleanup (LIFO: it runs before newTestService's
+// srv.Close), so a fatal mid-test still frees the pinned constructor
+// instead of wedging the worker drain and hanging the package.
+func mustUnblock(t *testing.T, release chan struct{}) func() {
+	released := false
+	unblock := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	t.Cleanup(unblock)
+	return unblock
+}
+
 func TestPartialResultsVisibleWhileRunning(t *testing.T) {
 	srv, c := newTestService(t, Config{Workers: 2})
 	started := make(chan int, 4)
 	release := make(chan struct{})
+	unblock := mustUnblock(t, release)
 	st := srv.Submit(blockingSpec(2, started, release), scenario.RunOptions{})
 	if st.Fingerprint != "" {
 		t.Fatal("a custom-constructor spec must not be content-addressed")
@@ -250,7 +267,7 @@ func TestPartialResultsVisibleWhileRunning(t *testing.T) {
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
-	close(release)
+	unblock()
 	if _, err := rr.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -260,6 +277,7 @@ func TestCancelStopsARun(t *testing.T) {
 	srv, c := newTestService(t, Config{Workers: 1})
 	started := make(chan int, 8)
 	release := make(chan struct{})
+	unblock := mustUnblock(t, release)
 	// Workers=1: a blocker holds the only slot; later cells queue.
 	spec := blockingSpec(4, started, release)
 	spec.Buffers[0], spec.Buffers[1] = spec.Buffers[1], spec.Buffers[0]
@@ -294,7 +312,7 @@ func TestCancelStopsARun(t *testing.T) {
 		case <-time.After(2 * time.Millisecond):
 		}
 	}
-	close(release)
+	unblock()
 	final, err := rr.Wait(context.Background())
 	if err == nil || final.Status != StatusCanceled {
 		t.Fatalf("want a canceled run, got status %q err %v", final.Status, err)

@@ -74,6 +74,33 @@ func TestSweepMatchesLocalSeedSweep(t *testing.T) {
 	}
 }
 
+// TestSweepBatchesOneTracePassPerSeed pins the batched fan-out: a sweep
+// of S seeds over K buffers groups the K cells that share each
+// (trace, seed, dt) into one lockstep batch, so the executor walks the
+// trace S times — not S×K — and the /metrics counters make that visible.
+func TestSweepBatchesOneTracePassPerSeed(t *testing.T) {
+	_, c := newTestService(t, Config{})
+	ctx := context.Background()
+	seeds := []uint64{1, 2, 3}
+	st, err := c.Sweep(ctx, SweepRequest{Spec: json.RawMessage(pfSpec), Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cells) != 6 { // 3 seeds × 2 buffers
+		t.Fatalf("sweep ran %d cells, want 6", len(st.Cells))
+	}
+	m, _ := c.Metrics(ctx)
+	if m.TracePasses != uint64(len(seeds)) {
+		t.Errorf("trace passes = %d, want %d: each seed's cells must share one lockstep pass", m.TracePasses, len(seeds))
+	}
+	if m.TicksSimulated == 0 {
+		t.Error("ticks_simulated stayed zero across a six-cell sweep")
+	}
+	if m.SimsCompleted != 6 {
+		t.Errorf("sims completed = %d, want 6 (every cell still retires its own result)", m.SimsCompleted)
+	}
+}
+
 // TestSweepThenRunPerformsZeroNewSimulations is the issue's acceptance
 // criterion on the paper grid: after a seed sweep that included seed 1,
 // submitting the scenario as a plain run touches only cached cells —
@@ -211,6 +238,7 @@ func TestSweepCancel(t *testing.T) {
 	ctx := context.Background()
 	started := make(chan int, 4)
 	release := make(chan struct{})
+	unblock := mustUnblock(t, release)
 	srv.Submit(blockerSpec(started, release), scenario.RunOptions{})
 	<-started
 
@@ -221,7 +249,7 @@ func TestSweepCancel(t *testing.T) {
 	if err := sw.Cancel(ctx); err != nil {
 		t.Fatal(err)
 	}
-	close(release)
+	unblock()
 	final, err := sw.Wait(ctx)
 	if err == nil || final.Status != StatusCanceled {
 		t.Fatalf("want a canceled sweep, got status %q err %v", final.Status, err)

@@ -287,6 +287,14 @@ type Metrics struct {
 	SimsCompleted uint64  `json:"sims_completed"`
 	SimsFailed    uint64  `json:"sims_failed"`
 	SimsPerSec    float64 `json:"sims_per_sec"`
+
+	// Batched-executor accounting: cell-ticks actually stepped, cell-ticks
+	// skipped by the dead-time fast-forward, and lockstep passes over a
+	// trace (one per batch, however many cells shared it — a sweep of S
+	// seeds over K buffers makes S passes, not S×K).
+	TicksSimulated     uint64 `json:"ticks_simulated"`
+	TicksFastForwarded uint64 `json:"ticks_fastforwarded"`
+	TracePasses        uint64 `json:"trace_passes"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -1,0 +1,217 @@
+package sim_test
+
+// Equivalence suite for the batched executor: sim.RunBatch (lockstep
+// multi-cell execution + dead-time fast-forward) must reproduce
+// sim.RunReference bit for bit — not approximately — for any batch size,
+// any timestep alignment, and any buffer/workload pairing. Everything here
+// compares full Result values with reflect.DeepEqual: one ulp of drift is
+// a failure.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"react/internal/harvest"
+	"react/internal/mcu"
+	"react/internal/scenario"
+	"react/internal/sim"
+	"react/internal/trace"
+)
+
+// synthTrace builds a random piecewise-constant trace with injected
+// zero-power runs — the dead time the fast-forward path exists to skip —
+// interleaved with active segments at RF-harvest power levels.
+func synthTrace(r *rand.Rand, n int) *trace.Trace {
+	p := make([]float64, n)
+	for i := 0; i < n; {
+		run := 1 + r.Intn(n/6+1)
+		level := 0.0
+		if r.Intn(3) > 0 { // one third of the segments are dead time
+			level = (0.5 + r.Float64()) * 4e-3
+		}
+		for j := 0; j < run && i < n; j++ {
+			p[i] = level
+			i++
+		}
+	}
+	return &trace.Trace{Name: "synth", DT: 1e-3, Power: p}
+}
+
+// presetCell builds one fresh sim.Config over a shared trace. Every call
+// constructs fresh mutable state (buffer, device, workload), so a
+// reference run and a batched run of the same cell share nothing.
+func presetCell(t *testing.T, tr *trace.Trace, bufName, bench string, dt float64, seed uint64, recordDT float64) sim.Config {
+	t.Helper()
+	buf, err := scenario.NewPresetBuffer(bufName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := scenario.WorkloadSpec{Bench: bench}.Build(tr, seed, mcu.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		DT:       dt,
+		Frontend: harvest.NewFrontend(tr, nil),
+		Buffer:   buf,
+		Device:   mcu.NewDevice(mcu.DefaultProfile(), wl),
+		TailCap:  20,
+		RecordDT: recordDT,
+	}
+}
+
+// TestBatchOfOneMatchesReference is the randomized property: for random
+// traces (with zero runs), aligned and non-aligned timesteps, every preset
+// buffer and a mix of workloads, a batch of one returns exactly what the
+// reference per-tick loop returns.
+func TestBatchOfOneMatchesReference(t *testing.T) {
+	buffers := []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT", "Capybara", "Dewdrop"}
+	benches := []string{"DE", "SC", "RT", "PF"}
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		tr := synthTrace(r, 1500)
+		for _, dt := range []float64{1e-3, 0.75e-3} {
+			for i, bufName := range buffers {
+				bench := benches[i%len(benches)]
+				recordDT := 0.0
+				if i%2 == 0 {
+					recordDT = 0.5
+				}
+				want, err := sim.RunReference(presetCell(t, tr, bufName, bench, dt, seed, recordDT))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var st sim.Stats
+				got, err := sim.RunBatch([]sim.Config{presetCell(t, tr, bufName, bench, dt, seed, recordDT)}, &st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[0], want) {
+					t.Errorf("seed %d dt %g %s/%s: batch of one diverges from reference\n got %+v\nwant %+v",
+						seed, dt, bufName, bench, got[0], want)
+				}
+				if total := uint64(want.Duration/dt + 0.5); st.TicksSimulated+st.TicksFastForwarded != total {
+					t.Errorf("seed %d dt %g %s/%s: ticks %d simulated + %d fast-forwarded != %d total",
+						seed, dt, bufName, bench, st.TicksSimulated, st.TicksFastForwarded, total)
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepBatchMatchesReference runs a heterogeneous batch — every
+// preset buffer, mixed workloads, including the never-quiescent Morphy —
+// in one lockstep pass, in pairs, and one by one through the reference
+// loop: all three must agree bitwise, so the batch size is unobservable.
+func TestLockstepBatchMatchesReference(t *testing.T) {
+	buffers := []string{"770 µF", "10 mF", "17 mF", "Morphy", "REACT", "Capybara", "Dewdrop"}
+	benches := []string{"DE", "SC", "RT", "PF"}
+	r := rand.New(rand.NewSource(7))
+	tr := synthTrace(r, 1500)
+	const seed, dt = 2, 1e-3
+
+	mk := func(i int) sim.Config {
+		return presetCell(t, tr, buffers[i], benches[i%len(benches)], dt, seed, 0)
+	}
+	want := make([]sim.Result, len(buffers))
+	for i := range buffers {
+		res, err := sim.RunReference(mk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	all := make([]sim.Config, len(buffers))
+	for i := range buffers {
+		all[i] = mk(i)
+	}
+	got, err := sim.RunBatch(all, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buffers {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("full batch: cell %d (%s) diverges from reference", i, buffers[i])
+		}
+	}
+
+	for lo := 0; lo < len(buffers); lo += 2 {
+		hi := lo + 2
+		if hi > len(buffers) {
+			hi = len(buffers)
+		}
+		pair := make([]sim.Config, 0, 2)
+		for i := lo; i < hi; i++ {
+			pair = append(pair, mk(i))
+		}
+		res, err := sim.RunBatch(pair, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := lo; i < hi; i++ {
+			if !reflect.DeepEqual(res[i-lo], want[i]) {
+				t.Errorf("pair batch [%d,%d): cell %d (%s) diverges from reference", lo, hi, i, buffers[i])
+			}
+		}
+	}
+}
+
+// TestFastForwardSkipsDeadTime crafts the case the fast-forward exists
+// for — a long all-zero cold-start prefix — and asserts the batch both
+// skipped ticks and still matched the reference bitwise, aligned and not.
+func TestFastForwardSkipsDeadTime(t *testing.T) {
+	p := make([]float64, 8000)
+	for i := 5000; i < len(p); i++ {
+		p[i] = 3e-3
+	}
+	tr := &trace.Trace{Name: "cold", DT: 1e-3, Power: p}
+	for _, dt := range []float64{1e-3, 0.75e-3} {
+		for _, bufName := range []string{"REACT", "770 µF", "Capybara"} {
+			want, err := sim.RunReference(presetCell(t, tr, bufName, "DE", dt, 1, 0.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st sim.Stats
+			got, err := sim.RunBatch([]sim.Config{presetCell(t, tr, bufName, "DE", dt, 1, 0.5)}, &st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[0], want) {
+				t.Errorf("dt %g %s: fast-forwarded run diverges from reference", dt, bufName)
+			}
+			if st.TicksFastForwarded == 0 {
+				t.Errorf("dt %g %s: fast-forward never engaged over a 5000-sample dead prefix", dt, bufName)
+			}
+			if st.TracePasses != 1 {
+				t.Errorf("dt %g %s: TracePasses = %d, want 1", dt, bufName, st.TracePasses)
+			}
+		}
+	}
+}
+
+// TestRunBatchValidation covers the batch-compatibility errors: mixed
+// timesteps, mixed traces, and a missing component.
+func TestRunBatchValidation(t *testing.T) {
+	tr := &trace.Trace{Name: "t", DT: 1e-3, Power: []float64{1e-3, 1e-3}}
+	tr2 := &trace.Trace{Name: "t2", DT: 1e-3, Power: []float64{1e-3, 1e-3}}
+	a := presetCell(t, tr, "770 µF", "DE", 1e-3, 1, 0)
+	b := presetCell(t, tr, "770 µF", "DE", 2e-3, 1, 0)
+	if _, err := sim.RunBatch([]sim.Config{a, b}, nil); err == nil || !strings.Contains(err.Error(), "timestep") {
+		t.Errorf("mixed timesteps: err = %v, want timestep mismatch", err)
+	}
+	c := presetCell(t, tr2, "770 µF", "DE", 1e-3, 1, 0)
+	if _, err := sim.RunBatch([]sim.Config{a, c}, nil); err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Errorf("mixed traces: err = %v, want trace mismatch", err)
+	}
+	bad := presetCell(t, tr, "770 µF", "DE", 1e-3, 1, 0)
+	bad.Buffer = nil
+	if _, err := sim.RunBatch([]sim.Config{bad}, nil); err == nil {
+		t.Error("nil buffer: expected an error")
+	}
+	if res, err := sim.RunBatch(nil, nil); err != nil || res != nil {
+		t.Errorf("empty batch: got (%v, %v), want (nil, nil)", res, err)
+	}
+}

@@ -97,8 +97,24 @@ func (r Result) EnergyBalanceError() float64 {
 	return math.Abs(in-out) / denom
 }
 
-// Run executes the simulation to completion.
+// Run executes the simulation to completion. It routes through the batched
+// executor (RunBatch) with a batch of one, which adds dead-time
+// fast-forward on top of the reference loop; results are bit-identical to
+// RunReference (the equivalence suite in batch_test.go enforces this).
 func Run(cfg Config) (Result, error) {
+	res, err := RunBatch([]Config{cfg}, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// RunReference executes the simulation to completion with the original
+// per-tick loop. It is retained verbatim as the executable specification
+// the batched executor is tested against: RunBatch must reproduce its
+// results bit for bit, so any change here is a semantics change for the
+// whole engine.
+func RunReference(cfg Config) (Result, error) {
 	if cfg.Frontend == nil || cfg.Buffer == nil || cfg.Device == nil {
 		return Result{}, fmt.Errorf("sim: frontend, buffer and device are all required")
 	}
