@@ -5,6 +5,15 @@
 // Usage:
 //
 //	reactd [-addr :8080] [-workers n] [-cache n] [-cache-cells n]
+//	       [-data-dir dir] [-self url -peers url,url,...]
+//
+// -data-dir backs the cell cache with a persistent content-addressed disk
+// store: completed cells write through, LRU eviction demotes to disk, and
+// a restarted daemon serves previously computed grids without
+// resimulating. -peers (with -self, this node's own advertised URL) turns
+// on cluster mode: cell ownership is consistent-hashed over the ring, and
+// non-owned cells are fetched from their owners, degrading to local
+// simulation when a peer is down.
 //
 // Endpoints:
 //
@@ -52,23 +61,69 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"react/internal/service"
+	"react/internal/store"
 )
+
+// newHTTPServer wraps the handler in a server with every idle-connection
+// timeout set: without ReadHeaderTimeout a single client dribbling header
+// bytes pins a connection (and its goroutine) forever — the classic
+// slowloris. readHeader is a parameter so the test can use a short one.
+func newHTTPServer(addr string, h http.Handler, readHeader time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
-		cache      = flag.Int("cache", service.DefaultCacheRuns, "completed run/sweep views kept for polling and whole-run dedup")
-		cacheCells = flag.Int("cache-cells", service.DefaultCacheCells, "completed cells kept in the content-addressed result cache")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		cache       = flag.Int("cache", service.DefaultCacheRuns, "completed run/sweep views kept for polling and whole-run dedup")
+		cacheCells  = flag.Int("cache-cells", service.DefaultCacheCells, "completed cells kept in the content-addressed result cache")
+		dataDir     = flag.String("data-dir", "", "persistent cell store directory (empty = memory only)")
+		self        = flag.String("self", "", "this node's advertised base URL (required with -peers)")
+		peers       = flag.String("peers", "", "comma-separated peer base URLs; turns on cluster mode")
+		peerTimeout = flag.Duration("peer-timeout", service.DefaultPeerTimeout, "per-request timeout for peer fetches")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{Workers: *workers, CacheRuns: *cache, CacheCells: *cacheCells})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	cfg := service.Config{
+		Workers:     *workers,
+		CacheRuns:   *cache,
+		CacheCells:  *cacheCells,
+		Self:        *self,
+		PeerTimeout: *peerTimeout,
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Peers = append(cfg.Peers, p)
+		}
+	}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "reactd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reactd:", err)
+		os.Exit(1)
+	}
+	httpSrv := newHTTPServer(*addr, srv, 10*time.Second)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,6 +131,12 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "reactd: serving on %s (workers %d, cache %d views / %d cells)\n", *addr, *workers, *cache, *cacheCells)
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "reactd: cell store %s (%d cells)\n", st.Dir(), st.Len())
+	}
+	if len(cfg.Peers) > 0 {
+		fmt.Fprintf(os.Stderr, "reactd: cluster mode, self %s, peers %s\n", *self, *peers)
+	}
 
 	select {
 	case err := <-errCh:
@@ -92,4 +153,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reactd: shutdown:", err)
 	}
 	srv.Close()
+	if st != nil {
+		st.Close()
+	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestStalledHeaderWriteDisconnected pins the slowloris fix: a client that
+// opens a connection and dribbles half a request header must be
+// disconnected once ReadHeaderTimeout elapses, not parked forever.
+func TestStalledHeaderWriteDisconnected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer("", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), 150*time.Millisecond)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request: the header section never terminates.
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: stalled\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	conn.SetReadDeadline(start.Add(5 * time.Second))
+	_, err = conn.Read(make([]byte, 1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("server answered an unfinished request")
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("connection still open after %v: server never disconnected the stalled client", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("disconnect took %v, want roughly the 150ms ReadHeaderTimeout", elapsed)
+	}
+
+	// A well-formed request right after still works: the timeout hit one
+	// connection, not the listener.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}

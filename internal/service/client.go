@@ -14,24 +14,41 @@ import (
 	"react/internal/explore"
 )
 
+// DefaultRequestTimeout bounds each HTTP request a Client issues unless
+// WithRequestTimeout overrides it. Every request is individually bounded:
+// a hung or stalled daemon fails the call instead of pinning it forever
+// (Wait's polling loop then surfaces the error). The caller's context can
+// always impose a shorter deadline.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Client talks to a reactd server. Create with Dial; the zero value is not
 // usable. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	reqTimeout time.Duration // per-request bound; <= 0 = none
+}
+
+// DialOption configures a Client at Dial time.
+type DialOption func(*Client)
+
+// WithRequestTimeout sets the per-request timeout (DefaultRequestTimeout
+// otherwise). Zero or negative means no per-request bound — only the
+// caller's context limits a call.
+func WithRequestTimeout(d time.Duration) DialOption {
+	return func(c *Client) { c.reqTimeout = d }
 }
 
 // Dial validates the base URL ("http://host:port") and probes the server's
 // /metrics endpoint to fail fast on a wrong address.
-func Dial(baseURL string) (*Client, error) {
-	u, err := url.Parse(baseURL)
+func Dial(baseURL string, opts ...DialOption) (*Client, error) {
+	c, err := newPeerClient(baseURL, DefaultRequestTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("service: parsing %q: %w", baseURL, err)
+		return nil, err
 	}
-	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("service: %q: want an http(s) base URL", baseURL)
+	for _, o := range opts {
+		o(c)
 	}
-	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{Timeout: 30 * time.Second}}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if _, err := c.Metrics(ctx); err != nil {
@@ -40,9 +57,29 @@ func Dial(baseURL string) (*Client, error) {
 	return c, nil
 }
 
+// newPeerClient builds a Client without the liveness probe — peers come
+// and go, and cluster mode must start (and degrade gracefully) with a
+// peer down, not refuse to.
+func newPeerClient(baseURL string, timeout time.Duration) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("service: parsing %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("service: %q: want an http(s) base URL", baseURL)
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{}, reqTimeout: timeout}, nil
+}
+
 // do issues a request and decodes the JSON response (or the error
-// envelope) into out.
+// envelope) into out. Each request is bounded by the client's per-request
+// timeout on top of (never instead of) the caller's context.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if c.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)

@@ -164,7 +164,7 @@ func (s *Server) exploreStatus(v *view) *ExploreStatus {
 // --- HTTP handlers ---
 
 func (s *Server) handleExploreSubmit(w http.ResponseWriter, req *http.Request) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	var sp explore.Space
 	if err := dec.Decode(&sp); err != nil {

@@ -204,7 +204,10 @@ func TestExploreCancel(t *testing.T) {
 // TestExploreSubmitRejections covers the synchronous 400s: malformed JSON,
 // unknown fields, and unresolvable spaces.
 func TestExploreSubmitRejections(t *testing.T) {
-	srv := New(Config{})
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	for label, body := range map[string]string{

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClientRequestTimeout: a daemon that stops answering fails client
+// calls within the per-request timeout instead of pinning them forever.
+// Dial's /metrics probe answers; /scenarios stalls.
+func TestClientRequestTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			writeJSON(w, http.StatusOK, &Metrics{})
+			return
+		}
+		<-stall
+	}))
+	t.Cleanup(func() { close(stall); ts.Close() })
+
+	c, err := Dial(ts.URL, WithRequestTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Scenarios(context.Background()); err == nil {
+		t.Fatal("call against a stalled daemon returned")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("stalled call took %v to fail, want ~200ms", elapsed)
+	}
+
+	// A caller's tighter context wins over the per-request bound.
+	slow, err := Dial(ts.URL, WithRequestTimeout(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if _, err := slow.Scenarios(ctx); err == nil {
+		t.Fatal("call outlived its context")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("context-bounded call took %v to fail", elapsed)
+	}
+}
+
+// TestBodyHandlingNormalized: every handler shares one body policy — the
+// maxSpecBytes cap applies to any method, an unread GET/DELETE body is
+// drained rather than wedging the connection, and an oversized submission
+// is a clean 4xx.
+func TestBodyHandlingNormalized(t *testing.T) {
+	_, c := newTestService(t, Config{})
+	hc := &http.Client{}
+
+	// Oversized POST: rejected, not served, not crashed.
+	big := `{"scenario":"energy-attack","spec-pad":"` + strings.Repeat("x", maxSpecBytes) + `"}`
+	resp, err := hc.Post(c.base+"/runs", "application/json", strings.NewReader(big))
+	if err == nil {
+		if resp.StatusCode < 400 {
+			t.Errorf("oversized run request got HTTP %d, want an error", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// GET with an (ignored) body over a keep-alive connection: the server
+	// must drain it so the next request on the same connection parses.
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest(http.MethodGet, c.base+"/metrics", bytes.NewReader([]byte(`{"junk":true}`)))
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatalf("GET with body #%d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET with body #%d: HTTP %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// The server stayed healthy throughout.
+	if _, err := c.Metrics(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

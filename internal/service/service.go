@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"react/internal/explore"
 	"react/internal/scenario"
 	"react/internal/sim"
+	"react/internal/store"
 )
 
 // DefaultCacheRuns bounds the finished run/sweep views kept for reuse when
@@ -62,6 +64,22 @@ type Config struct {
 	// CacheCells bounds the finished cells kept for content-addressed
 	// reuse (0 = DefaultCacheCells). In-flight cells are never evicted.
 	CacheCells int
+	// Store, when set, backs the cell cache with a persistent disk tier:
+	// completed cells write through, LRU eviction demotes to disk instead
+	// of deleting, and a cache miss consults the disk before simulating.
+	// The store stays the caller's to Close (after Server.Close).
+	Store *store.Store
+	// Peers, when non-empty, turns on cluster mode: the base URLs of the
+	// other reactd nodes sharing the cell space. Ownership of a cell is
+	// rendezvous hashing of its fingerprint over the ring (Peers + Self),
+	// so every node must be configured with the same member URL strings.
+	Peers []string
+	// Self is this node's own advertised base URL, required with Peers.
+	// It may also appear in Peers; the ring is the deduplicated union.
+	Self string
+	// PeerTimeout bounds each HTTP request to a peer
+	// (0 = DefaultPeerTimeout).
+	PeerTimeout time.Duration
 }
 
 // Server implements the service over http.Handler. Create with New, shut
@@ -70,6 +88,8 @@ type Server struct {
 	workers    int
 	cacheRuns  int
 	cacheCells int
+	store      *store.Store // nil = memory-only
+	cluster    *cluster     // nil = single node
 	mux        *http.ServeMux
 	ctx        context.Context
 	shutdown   context.CancelFunc
@@ -87,6 +107,10 @@ type Server struct {
 	simsOK, simsFailed                              atomic.Uint64 // actual simulations: succeeded / errored
 	// Batched-executor accounting (sim.Stats totals across every batch).
 	ticksSimulated, ticksFastForwarded, tracePasses atomic.Uint64
+	// Disk-tier accounting (zero without a Store).
+	diskHits, diskMisses, diskPuts atomic.Uint64
+	// Peer fan-out accounting (zero without cluster mode).
+	peerRequests, peerRetries, peerFallbacks, peerCells atomic.Uint64
 
 	// mu guards the stores below and every cell/view list-membership and
 	// refcount field. Lock order: mu before view.mu.
@@ -105,12 +129,16 @@ type Server struct {
 	pending []pendingCell
 }
 
-// pendingCell is one fresh cell awaiting batch scheduling.
+// pendingCell is one fresh cell awaiting batch scheduling. noFwd pins the
+// cell to this node even in cluster mode — set on peer-forwarded
+// submissions so a forwarded cell is answered where it lands, whatever
+// this node's own ring config says.
 type pendingCell struct {
-	c    *cell
-	spec *scenario.Spec
-	i    int
-	opt  scenario.RunOptions
+	c     *cell
+	spec  *scenario.Spec
+	i     int
+	opt   scenario.RunOptions
+	noFwd bool
 }
 
 // batchKey groups pending cells that can share one lockstep trace pass:
@@ -180,6 +208,10 @@ type view struct {
 	cells   []*cell
 	keys    []cellKey // index-parallel to cells
 
+	// noFwd pins the view's fresh cells to this node in cluster mode;
+	// set on peer-forwarded submissions.
+	noFwd bool
+
 	// Sweep axes, resolved at submission.
 	seeds   []uint64
 	dts     []float64
@@ -212,8 +244,9 @@ type view struct {
 	finished time.Time
 }
 
-// New builds a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server. It fails only on an invalid cluster
+// configuration (Config.Peers/Self).
+func New(cfg Config) (*Server, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -226,11 +259,17 @@ func New(cfg Config) *Server {
 	if cacheCells <= 0 {
 		cacheCells = DefaultCacheCells
 	}
+	cl, err := newCluster(cfg.Self, cfg.Peers, cfg.PeerTimeout)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		workers:    workers,
 		cacheRuns:  cacheRuns,
 		cacheCells: cacheCells,
+		store:      cfg.Store,
+		cluster:    cl,
 		ctx:        ctx,
 		shutdown:   cancel,
 		sem:        make(chan struct{}, workers),
@@ -255,11 +294,24 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /explorations/{id}", s.handleExploreDelete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Body handling is normalized here for
+// every method: the body (if any) is capped at maxSpecBytes, and whatever
+// a handler leaves unread is drained so the connection can be reused —
+// the GET/DELETE handlers never read bodies at all, and the POST decoders
+// stop at the first JSON value.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
+		defer func() {
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}()
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Close cancels every in-flight cell and waits for the workers to drain.
 // The HTTP listener (if any) is the caller's to shut down first.
@@ -280,7 +332,7 @@ const (
 	cellFresh
 )
 
-func (s *Server) attachCell(spec *scenario.Spec, i int, opt scenario.RunOptions) (*cell, int) {
+func (s *Server) attachCell(spec *scenario.Spec, i int, opt scenario.RunOptions, noFwd bool) (*cell, int) {
 	fp, _ := spec.FingerprintCell(i, opt)
 	if fp != "" {
 		if c := s.cells[fp]; c != nil {
@@ -297,20 +349,66 @@ func (s *Server) attachCell(spec *scenario.Spec, i int, opt scenario.RunOptions)
 			s.cellCoalesced.Add(1)
 			return c, cellInFlight
 		}
+		// A memory miss consults the disk tier before simulating: a cell
+		// demoted by LRU pressure — or computed before a restart — promotes
+		// back into the cache as an ordinary hit, without a simulation.
+		// The read happens under s.mu; it is one small file, and the
+		// alternative (optimistic unlock) would race the single-flight
+		// index. A corrupt entry was quarantined by the store and reads
+		// as a miss.
+		if s.store != nil && s.store.Has(fp) {
+			if payload, err := s.store.Get(fp); err == nil {
+				if res, derr := decodeCell(payload); derr == nil {
+					c := &cell{fp: fp, buffer: spec.Buffers[i].DisplayName(), refs: 1, done: make(chan struct{})}
+					c.res = res
+					close(c.done)
+					s.cells[fp] = c
+					s.cacheCellLocked(c)
+					s.cellHits.Add(1)
+					s.diskHits.Add(1)
+					return c, cellCached
+				}
+				// Decodable by the store but not by us (a payload written
+				// by an incompatible build): drop it and resimulate.
+				s.store.Delete(fp)
+			}
+			s.diskMisses.Add(1)
+		} else if s.store != nil {
+			s.diskMisses.Add(1)
+		}
 	}
 	c := &cell{fp: fp, buffer: spec.Buffers[i].DisplayName(), refs: 1, done: make(chan struct{})}
 	if fp != "" {
 		s.cells[fp] = c
 	}
 	s.cellMisses.Add(1)
-	s.pending = append(s.pending, pendingCell{c: c, spec: spec, i: i, opt: opt})
+	s.pending = append(s.pending, pendingCell{c: c, spec: spec, i: i, opt: opt, noFwd: noFwd})
 	return c, cellFresh
+}
+
+// encodeCell and decodeCell are the disk tier's payload codec: the plain
+// JSON of a sim.Result. Go's float64 encoding is shortest-representation
+// and round-trips bit-exactly, so a grid served from disk is bit-identical
+// to the one simulated (recordings excluded — Samples do not persist).
+func encodeCell(res sim.Result) ([]byte, error) {
+	res.Samples = nil
+	return json.Marshal(res)
+}
+
+func decodeCell(payload []byte) (sim.Result, error) {
+	var res sim.Result
+	err := json.Unmarshal(payload, &res)
+	return res, err
 }
 
 // flushPending groups the pending fresh cells by batch key and schedules
 // one lockstep batch per group, so a sweep's cells sharing a (trace, seed,
 // dt) address make one pass over the trace however many buffers ride it.
-// Called with s.mu held after a submission attaches all its cells.
+// In cluster mode each group is further partitioned by ring owner: owned
+// (and untransportable) cells run locally, the rest fan out to their
+// owners — still grouped, so remote fan-out keeps the
+// one-trace-pass-per-seed batching. Called with s.mu held after a
+// submission attaches all its cells.
 func (s *Server) flushPending() {
 	pend := s.pending
 	s.pending = nil
@@ -340,7 +438,38 @@ func (s *Server) flushPending() {
 		// Fully resolved options apply uniformly to every member, whatever
 		// each spec's own defaults were (resolution is deterministic, so
 		// results match per-cell runs bit for bit).
-		s.startBatch(groups[k], scenario.RunOptions{Seed: k.seed, DT: k.dt, RecordDT: k.rec})
+		opt := scenario.RunOptions{Seed: k.seed, DT: k.dt, RecordDT: k.rec}
+		if s.cluster == nil {
+			s.startBatch(groups[k], opt)
+			continue
+		}
+		var local []pendingCell
+		byOwner := map[string][]pendingCell{}
+		var owners []string
+		for _, p := range groups[k] {
+			// Cells that cannot travel stay local: forwarded submissions
+			// (cycle breaking), preloaded traces (no JSON encoding), and
+			// recorded runs (samples are not part of the wire cell result).
+			if p.noFwd || p.spec.Trace.Loaded != nil || k.rec != 0 {
+				local = append(local, p)
+				continue
+			}
+			owner := s.cluster.owner(p.c.fp)
+			if owner == s.cluster.self {
+				local = append(local, p)
+				continue
+			}
+			if _, ok := byOwner[owner]; !ok {
+				owners = append(owners, owner)
+			}
+			byOwner[owner] = append(byOwner[owner], p)
+		}
+		if len(local) > 0 {
+			s.startBatch(local, opt)
+		}
+		for _, owner := range owners {
+			s.startPeerGroup(owner, byOwner[owner], opt)
+		}
 	}
 }
 
@@ -372,7 +501,7 @@ func (s *Server) startBatch(group []pendingCell, opt scenario.RunOptions) {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
 			for _, p := range group {
-				s.finishCell(p.c, sim.Result{}, ctx.Err())
+				s.completeCell(p.c, sim.Result{}, ctx.Err(), cellSimulated)
 			}
 			return
 		}
@@ -391,48 +520,80 @@ func (s *Server) startBatch(group []pendingCell, opt scenario.RunOptions) {
 			// cell poisons the shared pass, and every sibling reports the
 			// same labeled error.
 			for _, p := range group {
-				s.finishCell(p.c, sim.Result{}, err)
+				s.completeCell(p.c, sim.Result{}, err, cellSimulated)
 			}
 			return
 		}
 		for i, p := range group {
-			s.finishCell(p.c, res[i], nil)
+			s.completeCell(p.c, res[i], nil, cellSimulated)
 		}
 	}()
 }
 
-// finishCell records a cell's outcome and manages the cell cache: a
+// Cell result origins for completeCell. Only locally simulated results
+// count in the sims_* metrics and write through to the disk tier —
+// a peer-fetched cell was simulated (and persisted) on its owner, and
+// persisting it here would erode the shards' disjointness.
+const (
+	cellSimulated = iota
+	cellFromPeer
+)
+
+// completeCell records a cell's outcome and manages the cell cache: a
 // successful cell still wanted by the index becomes a cached entry
-// (bounded by LRU eviction); failed and cancelled cells leave the index so
-// a resubmission simulates afresh.
-func (s *Server) finishCell(c *cell, res sim.Result, err error) {
+// (bounded by LRU eviction) and writes through to the disk tier; failed
+// and cancelled cells leave the index so a resubmission simulates afresh.
+func (s *Server) completeCell(c *cell, res sim.Result, err error, origin int) {
+	if err == nil && origin == cellSimulated && c.fp != "" && s.store != nil && res.Samples == nil {
+		// Write through before publishing, outside s.mu: the disk write
+		// must not stall attachments, and a cell is only servable from
+		// disk after it is servable from memory anyway.
+		if payload, perr := encodeCell(res); perr == nil {
+			if s.store.Put(c.fp, payload) == nil {
+				s.diskPuts.Add(1)
+			}
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
 	case err == nil:
 		c.res = res
-		s.simsOK.Add(1)
+		if origin == cellSimulated {
+			s.simsOK.Add(1)
+		}
 		if c.fp != "" && s.cells[c.fp] == c {
-			c.elem = s.cellLRU.PushFront(c)
-			c.inLRU = true
-			for s.cellLRU.Len() > s.cacheCells {
-				s.evictCell(s.cellLRU.Back().Value.(*cell))
-				s.cellEvicts.Add(1)
-			}
+			s.cacheCellLocked(c)
 		}
 	case errors.Is(err, context.Canceled):
 		c.err = context.Canceled.Error()
 		s.dropCellIndex(c)
 	default:
 		c.err = err.Error()
-		s.simsFailed.Add(1)
+		if origin == cellSimulated {
+			s.simsFailed.Add(1)
+		}
 		s.dropCellIndex(c)
 	}
 	close(c.done)
 	s.cellsDone.Add(1)
 }
 
-// evictCell forgets a cached cell. Called with s.mu held.
+// cacheCellLocked files a terminal successful cell in the LRU and evicts
+// the overflow. Called with s.mu held.
+func (s *Server) cacheCellLocked(c *cell) {
+	c.elem = s.cellLRU.PushFront(c)
+	c.inLRU = true
+	for s.cellLRU.Len() > s.cacheCells {
+		s.evictCell(s.cellLRU.Back().Value.(*cell))
+		s.cellEvicts.Add(1)
+	}
+}
+
+// evictCell drops a cached cell from memory. With a disk tier this is a
+// demotion, not a deletion: the cell's entry stays on disk, and the next
+// attachment of its address promotes it back without a simulation.
+// Called with s.mu held.
 func (s *Server) evictCell(c *cell) {
 	s.cellLRU.Remove(c.elem)
 	c.inLRU = false
@@ -486,7 +647,7 @@ func (s *Server) newView(kind, prefix string, spec *scenario.Spec, opt scenario.
 // addCell attaches one cell to the view and keeps the submission-time
 // cache accounting, returning the shared cell. Called with s.mu held.
 func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOptions, key cellKey) *cell {
-	c, state := s.attachCell(spec, i, opt)
+	c, state := s.attachCell(spec, i, opt, v.noFwd)
 	v.cells = append(v.cells, c)
 	v.keys = append(v.keys, key)
 	switch state {
@@ -598,14 +759,23 @@ func (s *Server) evictView(v *view) {
 }
 
 // forgetView is the explicit DELETE of a terminal view: the view is
-// dropped and so are its cached cells — except cells still referenced by
-// a live view (a sweep in flight over the same addresses), which must
-// survive. Called with s.mu held.
+// dropped and so are its cached cells — from the disk tier too, unlike
+// an LRU demotion — except cells still referenced by a live view (a sweep
+// in flight over the same addresses), which must survive. Called with
+// s.mu held.
 func (s *Server) forgetView(v *view) {
 	s.evictView(v)
 	for _, c := range v.cells {
-		if c.inLRU && c.refs == 0 {
+		if c.refs != 0 {
+			continue
+		}
+		if c.inLRU {
 			s.evictCell(c) // an explicit forget; not counted as a cache eviction
+		}
+		// Delete the disk entry unless another live cell owns the address
+		// (it would just re-persist, but why thrash).
+		if s.store != nil && c.fp != "" && s.cells[c.fp] == nil {
+			s.store.Delete(c.fp)
 		}
 	}
 }
@@ -622,6 +792,12 @@ func (v *view) getStatus() string {
 // Submit resolves, deduplicates and (if needed) launches a run, returning
 // its submission view. It is the Go-level core of POST /runs.
 func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus {
+	return s.submit(spec, opt, false)
+}
+
+// submit is Submit plus the cluster-internal noFwd flag (RunRequest
+// .NoForward): a forwarded run's fresh cells never forward again.
+func (s *Server) submit(spec *scenario.Spec, opt scenario.RunOptions, noFwd bool) *RunStatus {
 	s.submitted.Add(1)
 	// A spec with no canonical encoding (Go-only constructors) still runs;
 	// it just cannot be deduplicated or cached.
@@ -652,6 +828,7 @@ func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus
 	}
 	v := s.newView("run", "r", spec, opt)
 	v.fp = fp
+	v.noFwd = noFwd
 	seed := ResolveSeed(spec, opt.Seed)
 	for i := range spec.Buffers {
 		s.addCell(v, spec, i, opt, cellKey{Seed: seed, DT: resolveDT(spec, opt.DT), Buffer: spec.Buffers[i].DisplayName()})
@@ -912,6 +1089,22 @@ func (s *Server) metrics() *Metrics {
 		TicksFastForwarded: s.ticksFastForwarded.Load(),
 		TracePasses:        s.tracePasses.Load(),
 	}
+	if s.store != nil {
+		m.DiskEnabled = true
+		m.DiskCells = s.store.Len()
+		m.DiskHits = s.diskHits.Load()
+		m.DiskMisses = s.diskMisses.Load()
+		m.DiskPuts = s.diskPuts.Load()
+		m.DiskQuarantined = s.store.Quarantined()
+	}
+	if s.cluster != nil {
+		m.ClusterSelf = s.cluster.self
+		m.ClusterPeers = len(s.cluster.others)
+		m.PeerRequests = s.peerRequests.Load()
+		m.PeerRetries = s.peerRetries.Load()
+		m.PeerFallbacks = s.peerFallbacks.Load()
+		m.PeerCells = s.peerCells.Load()
+	}
 	if m.Submitted > 0 {
 		m.CacheHitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
 	}
@@ -982,7 +1175,7 @@ func (s *Server) resolveSpec(w http.ResponseWriter, name string, inline json.Raw
 
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	var rr RunRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rr); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding run request: %v", err)
@@ -999,7 +1192,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st := s.Submit(spec, opt)
+	st := s.submit(spec, opt, rr.NoForward)
 	code := http.StatusAccepted
 	if Terminal(st.Status) {
 		code = http.StatusOK
@@ -1009,7 +1202,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, req *http.Request) {
 	var sr SweepRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sr); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding sweep request: %v", err)

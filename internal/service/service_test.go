@@ -26,7 +26,10 @@ const fastSpec = `{
 
 func newTestService(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

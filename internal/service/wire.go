@@ -42,6 +42,10 @@ type RunRequest struct {
 	Spec     json.RawMessage `json:"spec,omitempty"`
 	Seed     uint64          `json:"seed,omitempty"`
 	DT       float64         `json:"dt,omitempty"`
+	// NoForward pins the run's fresh cells to the receiving node even in
+	// cluster mode. Set on peer-to-peer forwarded submissions to break
+	// forwarding cycles; harmless (and occasionally useful) from clients.
+	NoForward bool `json:"no_forward,omitempty"`
 }
 
 // CellResult is one buffer's completed simulation, the service's view of a
@@ -73,6 +77,26 @@ func toCellResult(r sim.Result) *CellResult {
 		Metrics:       r.Metrics,
 		Ledger:        r.Ledger,
 		BalanceError:  r.EnergyBalanceError(),
+	}
+}
+
+// fromCellResult reverses toCellResult as far as the wire shape allows:
+// the simulation fields a peer's response carries are enough to assemble
+// views, summaries and persisted entries bit-identically (Duty and
+// BalanceError are derived, so they are not read back). The workload name
+// and any recording are not on the wire and stay zero.
+func fromCellResult(cr *CellResult, buffer string) sim.Result {
+	return sim.Result{
+		Buffer:        buffer,
+		Latency:       cr.Latency,
+		OnTime:        cr.OnTime,
+		Duration:      cr.Duration,
+		Cycles:        cr.Cycles,
+		MeanCycle:     cr.MeanCycle,
+		Stored:        cr.Stored,
+		InitialStored: cr.InitialStored,
+		Metrics:       cr.Metrics,
+		Ledger:        cr.Ledger,
 	}
 }
 
@@ -295,6 +319,26 @@ type Metrics struct {
 	TicksSimulated     uint64 `json:"ticks_simulated"`
 	TicksFastForwarded uint64 `json:"ticks_fastforwarded"`
 	TracePasses        uint64 `json:"trace_passes"`
+
+	// Disk-tier accounting, present when the node has a persistent store:
+	// entries on disk, memory misses served from (or missed by) disk,
+	// write-throughs, and entries quarantined as corrupt since open.
+	DiskEnabled     bool   `json:"disk_enabled,omitempty"`
+	DiskCells       int    `json:"disk_cells,omitempty"`
+	DiskHits        uint64 `json:"disk_hits,omitempty"`
+	DiskMisses      uint64 `json:"disk_misses,omitempty"`
+	DiskPuts        uint64 `json:"disk_puts,omitempty"`
+	DiskQuarantined uint64 `json:"disk_quarantined,omitempty"`
+
+	// Cluster accounting, present in cluster mode: ring identity, peer
+	// run submissions (with retries), fan-outs degraded to local
+	// simulation, and cells answered by peers.
+	ClusterSelf   string `json:"cluster_self,omitempty"`
+	ClusterPeers  int    `json:"cluster_peers,omitempty"`
+	PeerRequests  uint64 `json:"peer_requests,omitempty"`
+	PeerRetries   uint64 `json:"peer_retries,omitempty"`
+	PeerFallbacks uint64 `json:"peer_fallbacks,omitempty"`
+	PeerCells     uint64 `json:"peer_cells,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -1,0 +1,302 @@
+// Package store is the persistent disk tier under the service's cell
+// cache: a content-addressed store mapping a cell fingerprint
+// ("sha256:<hex>") to its result payload, laid out as
+//
+//	<dir>/cells/<hex[0:2]>/<hex>.json   one envelope per cell
+//	<dir>/quarantine/<hex>.json         entries that failed validation
+//	<dir>/tmp/                          in-flight writes (cleared on Open)
+//
+// plus a compact in-memory index (the key set, rebuilt by a directory
+// scan on Open) so a miss never touches the disk. Writes are atomic —
+// payloads land in tmp/ and are renamed into place — so a crash mid-write
+// leaves either the old entry or none, never a torn file. Every entry is
+// wrapped in an envelope carrying its key, payload length and CRC32;
+// reads validate all three and move anything that fails into quarantine
+// rather than serving it (or deleting the evidence), so one corrupt file
+// costs one re-simulation, not an outage.
+//
+// The store holds opaque payload bytes: the service layer encodes cell
+// results as JSON before Put and decodes after Get, which keeps this
+// package free of simulation types and reusable for any content-addressed
+// blob (the fingerprint → metrics mapping is exactly the audit-log
+// triangle: content hash as the key, cheap index, bulk store).
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Prefix is the accepted key prefix; keys are scenario cell fingerprints.
+const Prefix = "sha256:"
+
+// Sentinel errors. Get wraps details around them; test with errors.Is.
+var (
+	// ErrNotFound: the key has no entry.
+	ErrNotFound = errors.New("store: not found")
+	// ErrCorrupt: the entry failed validation and was quarantined.
+	ErrCorrupt = errors.New("store: corrupt entry quarantined")
+	// ErrClosed: the store was closed.
+	ErrClosed = errors.New("store: closed")
+)
+
+// envelope is the on-disk frame around one payload. Len and CRC32 are
+// validated against the raw payload bytes on every read; Key ties the
+// file's content to its address so a misfiled entry can never be served.
+type envelope struct {
+	V    int             `json:"v"`
+	Key  string          `json:"key"`
+	Len  int             `json:"len"`
+	CRC  uint32          `json:"crc32"`
+	Cell json.RawMessage `json:"cell"`
+}
+
+const envelopeV = 1
+
+// Store is a content-addressed on-disk payload store. Safe for concurrent
+// use; create with Open.
+type Store struct {
+	dir string
+
+	mu          sync.Mutex
+	index       map[string]struct{}
+	quarantined uint64
+	closed      bool
+}
+
+// Open creates (or reopens) a store rooted at dir, building the index
+// from the entries already on disk and clearing stale in-flight writes.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{cellsDir, quarantineDir, tmpDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+		}
+	}
+	// A crash can strand tmp files; they are garbage by construction
+	// (their rename never happened).
+	stale, _ := filepath.Glob(filepath.Join(dir, tmpDir, "*"))
+	for _, f := range stale {
+		os.Remove(f)
+	}
+	s := &Store{dir: dir, index: map[string]struct{}{}}
+	shards, err := os.ReadDir(filepath.Join(dir, cellsDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(dir, cellsDir, shard.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+		}
+		for _, e := range entries {
+			hex, ok := strings.CutSuffix(e.Name(), ".json")
+			if !ok || e.IsDir() || !validHex(hex) || !strings.HasPrefix(hex, shard.Name()) {
+				continue // not ours; leave it alone
+			}
+			s.index[Prefix+hex] = struct{}{}
+		}
+	}
+	return s, nil
+}
+
+const (
+	cellsDir      = "cells"
+	quarantineDir = "quarantine"
+	tmpDir        = "tmp"
+)
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Quarantined returns how many corrupt entries this store has quarantined
+// since Open.
+func (s *Store) Quarantined() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Close marks the store closed; subsequent calls fail with ErrClosed.
+// Writes are atomic and synchronous, so there is nothing to flush.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// validHex reports whether hex looks like a lowercase hex digest usable as
+// a file name (the shard prefix needs at least two characters).
+func validHex(hex string) bool {
+	if len(hex) < 8 {
+		return false
+	}
+	for _, c := range hex {
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'f' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// path resolves a key to its entry path, validating the key shape.
+func (s *Store) path(key string) (string, string, error) {
+	hex, ok := strings.CutPrefix(key, Prefix)
+	if !ok || !validHex(hex) {
+		return "", "", fmt.Errorf("store: key %q: want %s<lowercase hex>", key, Prefix)
+	}
+	return filepath.Join(s.dir, cellsDir, hex[:2], hex+".json"), hex, nil
+}
+
+// Put stores payload under key, atomically replacing any existing entry.
+func (s *Store) Put(key string, payload []byte) error {
+	path, hex, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	data, err := json.Marshal(envelope{
+		V: envelopeV, Key: key, Len: len(payload), CRC: crc32.ChecksumIEEE(payload), Cell: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, tmpDir), hex+"-*")
+	if err != nil {
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.index[key] = struct{}{}
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the payload stored under key. A missing entry returns
+// ErrNotFound; an entry that fails envelope, length, key or CRC validation
+// is moved into quarantine/ and reported as ErrCorrupt (a later Get of the
+// same key is then a plain miss).
+func (s *Store) Get(key string) ([]byte, error) {
+	path, hex, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := s.index[key]; !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Deleted underfoot (concurrent Delete); treat as a miss.
+			s.drop(key)
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: reading %s: %w", key, err)
+	}
+	var env envelope
+	if uerr := json.Unmarshal(data, &env); uerr != nil {
+		return nil, s.quarantine(key, hex, path, fmt.Sprintf("undecodable envelope: %v", uerr))
+	}
+	switch {
+	case env.Key != key:
+		return nil, s.quarantine(key, hex, path, fmt.Sprintf("entry is keyed %q", env.Key))
+	case env.Len != len(env.Cell):
+		return nil, s.quarantine(key, hex, path, fmt.Sprintf("payload length %d, envelope says %d", len(env.Cell), env.Len))
+	case crc32.ChecksumIEEE(env.Cell) != env.CRC:
+		return nil, s.quarantine(key, hex, path, "payload CRC mismatch")
+	}
+	return env.Cell, nil
+}
+
+// Has reports whether key is indexed (without touching the disk).
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete removes the entry stored under key, if any.
+func (s *Store) Delete(key string) error {
+	path, _, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	delete(s.index, key)
+	s.mu.Unlock()
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting %s: %w", key, err)
+	}
+	return nil
+}
+
+// drop forgets an index entry.
+func (s *Store) drop(key string) {
+	s.mu.Lock()
+	delete(s.index, key)
+	s.mu.Unlock()
+}
+
+// quarantine moves a failed entry aside — preserving the evidence — and
+// drops it from the index, returning the ErrCorrupt to surface.
+func (s *Store) quarantine(key, hex, path, detail string) error {
+	s.mu.Lock()
+	if _, ok := s.index[key]; ok {
+		delete(s.index, key)
+		s.quarantined++
+		if err := os.Rename(path, filepath.Join(s.dir, quarantineDir, hex+".json")); err != nil {
+			// Removal is second-best: never leave a corrupt entry servable.
+			os.Remove(path)
+		}
+	}
+	s.mu.Unlock()
+	return fmt.Errorf("%w: %s: %s", ErrCorrupt, key, detail)
+}

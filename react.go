@@ -405,8 +405,9 @@ type (
 )
 
 // NewService builds a reactd server for embedding: mount it on any
-// net/http mux or serve it directly.
-func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+// net/http mux or serve it directly. It fails only on an invalid cluster
+// configuration (ServiceConfig.Peers/Self).
+func NewService(cfg ServiceConfig) (*ServiceServer, error) { return service.New(cfg) }
 
 // Dial connects to a reactd server ("http://host:port") and verifies it
 // responds. Client.Run submits and waits; Client.RunAsync returns a
@@ -414,8 +415,13 @@ func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
 // Client.Sweep and Client.SweepAsync submit seed × dt × buffer sweeps,
 // and Client.Explore/ExploreAsync submit design-space explorations; all of
 // them share cells with runs and each other through the daemon's
-// content-addressed cache.
-func Dial(baseURL string) (*Client, error) { return service.Dial(baseURL) }
+// content-addressed cache. Every request the client issues is bounded by
+// a per-request timeout (service.DefaultRequestTimeout unless overridden
+// with service.WithRequestTimeout), so a hung daemon fails calls instead
+// of pinning them.
+func Dial(baseURL string, opts ...service.DialOption) (*Client, error) {
+	return service.Dial(baseURL, opts...)
+}
 
 // FingerprintScenario returns the content address of the runs a scenario
 // spec produces under the given options: a stable SHA-256 over the

@@ -196,7 +196,10 @@ func TestScenarioAPI(t *testing.T) {
 // exported client surface, and exercises Run, RunAsync and the
 // content-addressed cache end to end.
 func TestServiceFacade(t *testing.T) {
-	srv := react.NewService(react.ServiceConfig{Workers: 2})
+	srv, err := react.NewService(react.ServiceConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
@@ -291,7 +294,10 @@ func TestExploreFacade(t *testing.T) {
 	}
 
 	// And the remote path serves the identical result from a daemon.
-	srv := react.NewService(react.ServiceConfig{Workers: 2})
+	srv, err := react.NewService(react.ServiceConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer func() {
 		ts.Close()
