@@ -67,8 +67,10 @@ import (
 	"strconv"
 	"strings"
 
+	"react/internal/ckpt"
 	"react/internal/experiments"
 	"react/internal/explore"
+	"react/internal/mcu"
 	"react/internal/runner"
 	"react/internal/scenario"
 	"react/internal/service"
@@ -341,6 +343,8 @@ func listScenarios() {
 			fmt.Printf("  %-28s %s\n", s.Name, s.Title)
 		}
 	}
+	fmt.Printf("\nDevice profiles:    %s\n", strings.Join(mcu.ProfileNames(), ", "))
+	fmt.Printf("Checkpoint schemes: %s\n", strings.Join(ckpt.Names(), ", "))
 	fmt.Println("\nRun one with: reactsim -scenario <name> [-seed n] [-workers n] [-json]")
 }
 

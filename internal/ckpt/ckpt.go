@@ -1,0 +1,282 @@
+// Package ckpt models checkpoint (backup/restore) schemes for
+// intermittently-powered devices: the policy that decides when the MCU
+// suspends its workload to write a volatile-state image to non-volatile
+// memory, what that backup burst costs, and what reloading the image costs
+// on the next boot.
+//
+// The structure follows eh-sim's backup strategies: a scheme is a swappable
+// strategy object with a trigger predicate (will_backup), per-event energy
+// and time costs, and a post-backup disposition (ODAB gates the device off
+// after its all-backup; periodic snapshots resume). The device model
+// (internal/mcu) consults an attached Scheme once per tick while running;
+// a nil scheme is the legacy flat-boot device and costs nothing on the
+// tick path.
+package ckpt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Cost is one backup or restore burst: Time seconds at I amps. The zero
+// Cost is free and instantaneous.
+type Cost struct {
+	Time float64 `json:"time"`
+	I    float64 `json:"i"`
+}
+
+// Energy is the burst's energy at supply voltage v.
+func (c Cost) Energy(v float64) float64 { return c.Time * c.I * v }
+
+// State is the device view a scheme's trigger policy reads each tick while
+// the workload is running.
+type State struct {
+	// Now is the simulation time in seconds.
+	Now float64
+	// Voltage is the present supply voltage.
+	Voltage float64
+	// Usable is the energy software can extract before brownout,
+	// ½·C·(V² − V_min²) — the same coarse estimate workloads gate atomic
+	// operations on.
+	Usable float64
+	// SinceBackup is seconds since the last completed backup, or since
+	// power-on if none has completed this cycle.
+	SinceBackup float64
+}
+
+// Scheme is a checkpoint strategy. Implementations must be pure policy:
+// the device model owns all bookkeeping (burst progress, image presence,
+// counters), so one Scheme value may safely be shared by concurrent
+// devices.
+type Scheme interface {
+	// Name is the registry key ("odab", "periodic").
+	Name() string
+	// WillBackup reports whether the device should suspend the workload
+	// and write a backup now. Called once per tick while the workload
+	// runs; never while booting, restoring, or mid-backup.
+	WillBackup(st State) bool
+	// Backup is the cost of writing the full volatile image.
+	Backup() Cost
+	// Restore is the cost of reloading the image after boot. A zero-time
+	// restore completes within the boot tick.
+	Restore() Cost
+	// PowerDown reports whether a completed backup gates the device off
+	// (eh-sim's ODAB "backup when moving to power-off mode") or lets the
+	// workload resume (periodic snapshots).
+	PowerDown() bool
+}
+
+// Default burst figures: an MSP430FR-class register+SRAM image write to
+// FRAM, matching the ML workload's per-segment checkpoint burst (0.1 s at
+// 3 mA), and a cheaper sequential read-back on restore.
+func DefaultBackup() Cost  { return Cost{Time: 0.1, I: 3e-3} }
+func DefaultRestore() Cost { return Cost{Time: 0.05, I: 3e-3} }
+
+// DefaultMargin is ODAB's energy-warning multiplier over the backup cost,
+// aligned with the workloads' atomic-operation longevity margin.
+const DefaultMargin = 1.4
+
+// DefaultInterval is the periodic scheme's snapshot cadence in seconds.
+const DefaultInterval = 5.0
+
+// FRAMSegment is the ML workload's per-segment checkpoint burst, expressed
+// through the shared cost model.
+func FRAMSegment() Cost { return Cost{Time: 0.1, I: 3e-3} }
+
+// ODAB is eh-sim's on-demand all-backup scheme: run until the usable
+// energy falls to within Margin of the backup cost, write the full image,
+// and gate off — the checkpoint happens exactly once per power cycle, as
+// late as the energy warning allows.
+type ODAB struct {
+	BackupCost  Cost
+	RestoreCost Cost
+	// Margin scales the warning threshold: backup triggers when the usable
+	// energy drops to Margin × the backup burst's energy.
+	Margin float64
+}
+
+func (o *ODAB) Name() string { return "odab" }
+func (o *ODAB) WillBackup(st State) bool {
+	return st.Usable <= o.BackupCost.Energy(st.Voltage)*o.Margin
+}
+func (o *ODAB) Backup() Cost    { return o.BackupCost }
+func (o *ODAB) Restore() Cost   { return o.RestoreCost }
+func (o *ODAB) PowerDown() bool { return true }
+
+// Periodic writes a snapshot every Interval seconds of run time and
+// resumes — bounded loss without an energy monitor, at a recurring cost.
+type Periodic struct {
+	// Interval is the snapshot cadence in seconds of powered run time.
+	Interval    float64
+	BackupCost  Cost
+	RestoreCost Cost
+}
+
+func (p *Periodic) Name() string { return "periodic" }
+func (p *Periodic) WillBackup(st State) bool {
+	return st.SinceBackup >= p.Interval
+}
+func (p *Periodic) Backup() Cost    { return p.BackupCost }
+func (p *Periodic) Restore() Cost   { return p.RestoreCost }
+func (p *Periodic) PowerDown() bool { return false }
+
+// Config is the declarative form of a scheme: a registry name plus knobs,
+// JSON-expressible so scenario specs (and explore patch axes) can select
+// and tune schemes. Zero knobs select the scheme's defaults; knobs that
+// don't apply to the named scheme are rejected, so a config never
+// silently ignores a field.
+type Config struct {
+	// Scheme names the strategy: "none" (or empty, the default),
+	// "odab", or "periodic".
+	Scheme string `json:"scheme,omitempty"`
+	// Interval is the periodic snapshot cadence in seconds.
+	Interval float64 `json:"interval,omitempty"`
+	// Margin is ODAB's energy-warning multiplier over the backup cost.
+	Margin float64 `json:"margin,omitempty"`
+	// BackupTime/BackupI and RestoreTime/RestoreI override the burst
+	// costs for any scheme that backs up.
+	BackupTime  float64 `json:"backup_time,omitempty"`
+	BackupI     float64 `json:"backup_i,omitempty"`
+	RestoreTime float64 `json:"restore_time,omitempty"`
+	RestoreI    float64 `json:"restore_i,omitempty"`
+}
+
+// registry lists the named schemes in presentation order; each entry
+// builds its scheme from a resolved Config. "none" is listed for
+// enumeration but builds no strategy object — Build returns nil, the
+// device model's fast path.
+var registry = []struct {
+	name  string
+	build func(Config) Scheme
+}{
+	{"none", func(Config) Scheme { return nil }},
+	{"odab", func(c Config) Scheme {
+		return &ODAB{
+			BackupCost:  Cost{Time: c.BackupTime, I: c.BackupI},
+			RestoreCost: Cost{Time: c.RestoreTime, I: c.RestoreI},
+			Margin:      c.Margin,
+		}
+	}},
+	{"periodic", func(c Config) Scheme {
+		return &Periodic{
+			Interval:    c.Interval,
+			BackupCost:  Cost{Time: c.BackupTime, I: c.BackupI},
+			RestoreCost: Cost{Time: c.RestoreTime, I: c.RestoreI},
+		}
+	}},
+}
+
+// Names lists the registered scheme names in presentation order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// knob pairs a Config field with its name for validation.
+type knob struct {
+	name string
+	v    float64
+}
+
+// Resolve validates a config and returns its canonical form: the scheme
+// name normalized ("" → "none"), applicable knobs defaulted, and errors
+// for unknown schemes, non-finite or negative knobs, and knobs that don't
+// apply to the named scheme. Two configs with equal resolved forms build
+// identical schemes — the property the scenario fingerprint relies on.
+func Resolve(cfg Config) (Config, error) {
+	name := cfg.Scheme
+	if name == "" {
+		name = "none"
+	}
+	known := false
+	for _, e := range registry {
+		if e.name == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Config{}, fmt.Errorf("ckpt: unknown scheme %q (known: %s)", cfg.Scheme, strings.Join(Names(), ", "))
+	}
+	all := []knob{
+		{"interval", cfg.Interval},
+		{"margin", cfg.Margin},
+		{"backup_time", cfg.BackupTime},
+		{"backup_i", cfg.BackupI},
+		{"restore_time", cfg.RestoreTime},
+		{"restore_i", cfg.RestoreI},
+	}
+	for _, k := range all {
+		if math.IsNaN(k.v) || math.IsInf(k.v, 0) || k.v < 0 {
+			return Config{}, fmt.Errorf("ckpt: scheme %s: %s must be finite and non-negative (zero selects the default)", name, k.name)
+		}
+	}
+	reject := func(ks ...knob) error {
+		for _, k := range ks {
+			if k.v != 0 {
+				return fmt.Errorf("ckpt: scheme %s takes no %s knob", name, k.name)
+			}
+		}
+		return nil
+	}
+	r := Config{Scheme: name}
+	switch name {
+	case "none":
+		if err := reject(all...); err != nil {
+			return Config{}, err
+		}
+		return r, nil
+	case "odab":
+		if err := reject(knob{"interval", cfg.Interval}); err != nil {
+			return Config{}, err
+		}
+		r.Margin = cfg.Margin
+		if r.Margin == 0 {
+			r.Margin = DefaultMargin
+		}
+	case "periodic":
+		if err := reject(knob{"margin", cfg.Margin}); err != nil {
+			return Config{}, err
+		}
+		r.Interval = cfg.Interval
+		if r.Interval == 0 {
+			r.Interval = DefaultInterval
+		}
+	}
+	r.BackupTime, r.BackupI = cfg.BackupTime, cfg.BackupI
+	if r.BackupTime == 0 {
+		r.BackupTime = DefaultBackup().Time
+	}
+	if r.BackupI == 0 {
+		r.BackupI = DefaultBackup().I
+	}
+	r.RestoreTime, r.RestoreI = cfg.RestoreTime, cfg.RestoreI
+	if r.RestoreTime == 0 {
+		r.RestoreTime = DefaultRestore().Time
+	}
+	if r.RestoreI == 0 {
+		r.RestoreI = DefaultRestore().I
+	}
+	return r, nil
+}
+
+// Build resolves a config and constructs its scheme. The "none" scheme
+// (and the zero Config) builds nil: the device model treats a nil Scheme
+// as the legacy flat-boot device, with no per-tick policy cost.
+func Build(cfg Config) (Scheme, error) {
+	r, err := Resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range registry {
+		if e.name == r.Scheme {
+			return e.build(r), nil
+		}
+	}
+	// Unreachable: Resolve already rejected unknown names.
+	return nil, fmt.Errorf("ckpt: unknown scheme %q", r.Scheme)
+}

@@ -1,0 +1,133 @@
+package ckpt
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCostEnergy(t *testing.T) {
+	c := Cost{Time: 0.1, I: 3e-3}
+	if got, want := c.Energy(3.0), c.Time*c.I*3.0; got != want {
+		t.Errorf("Energy = %g, want %g", got, want)
+	}
+	if (Cost{}).Energy(3.3) != 0 {
+		t.Error("zero cost must be free")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"none", "odab", "periodic"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestBuildNone(t *testing.T) {
+	for _, name := range []string{"", "none"} {
+		s, err := Build(Config{Scheme: name})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if s != nil {
+			t.Errorf("Build(%q) = %T, want nil (the device fast path)", name, s)
+		}
+	}
+}
+
+func TestBuildODABDefaults(t *testing.T) {
+	s, err := Build(Config{Scheme: "odab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := s.(*ODAB)
+	if !ok {
+		t.Fatalf("Build(odab) = %T", s)
+	}
+	if o.BackupCost != DefaultBackup() || o.RestoreCost != DefaultRestore() || o.Margin != DefaultMargin {
+		t.Errorf("odab defaults not applied: %+v", o)
+	}
+	if !o.PowerDown() {
+		t.Error("odab must gate off after its all-backup")
+	}
+	// The energy warning: trigger exactly when usable energy falls to
+	// margin × backup energy.
+	warn := o.BackupCost.Energy(3.0) * o.Margin
+	if o.WillBackup(State{Voltage: 3.0, Usable: warn * 1.01}) {
+		t.Error("odab fired above the warning threshold")
+	}
+	if !o.WillBackup(State{Voltage: 3.0, Usable: warn * 0.99}) {
+		t.Error("odab did not fire below the warning threshold")
+	}
+}
+
+func TestBuildPeriodicDefaults(t *testing.T) {
+	s, err := Build(Config{Scheme: "periodic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.(*Periodic)
+	if !ok {
+		t.Fatalf("Build(periodic) = %T", s)
+	}
+	if p.Interval != DefaultInterval || p.BackupCost != DefaultBackup() {
+		t.Errorf("periodic defaults not applied: %+v", p)
+	}
+	if p.PowerDown() {
+		t.Error("periodic snapshots must resume, not gate off")
+	}
+	if p.WillBackup(State{SinceBackup: p.Interval - 0.1}) {
+		t.Error("periodic fired before its interval")
+	}
+	if !p.WillBackup(State{SinceBackup: p.Interval}) {
+		t.Error("periodic did not fire at its interval")
+	}
+}
+
+func TestResolveCanonical(t *testing.T) {
+	// A fully-spelled-out config and the defaulted one resolve identically.
+	def, err := Resolve(Config{Scheme: "odab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Resolve(Config{
+		Scheme: "odab", Margin: DefaultMargin,
+		BackupTime: 0.1, BackupI: 3e-3, RestoreTime: 0.05, RestoreI: 3e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != explicit {
+		t.Errorf("resolved forms differ:\n %+v\n %+v", def, explicit)
+	}
+	if none, _ := Resolve(Config{}); none.Scheme != "none" {
+		t.Errorf("zero config resolved to %q, want none", none.Scheme)
+	}
+}
+
+func TestResolveRejects(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		frag string
+	}{
+		{Config{Scheme: "flash-dance"}, "unknown scheme"},
+		{Config{Scheme: "none", BackupTime: 0.1}, "takes no backup_time"},
+		{Config{Interval: 5}, "takes no interval"},
+		{Config{Scheme: "odab", Interval: 5}, "takes no interval"},
+		{Config{Scheme: "periodic", Margin: 2}, "takes no margin"},
+		{Config{Scheme: "odab", Margin: math.NaN()}, "finite"},
+		{Config{Scheme: "periodic", Interval: math.Inf(1)}, "finite"},
+		{Config{Scheme: "odab", BackupI: -1e-3}, "non-negative"},
+	}
+	for _, c := range cases {
+		if _, err := Resolve(c.cfg); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Resolve(%+v) err = %v, want %q", c.cfg, err, c.frag)
+		}
+	}
+	// Unknown-scheme errors enumerate the registry.
+	_, err := Resolve(Config{Scheme: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "none, odab, periodic") {
+		t.Errorf("unknown-scheme error does not enumerate schemes: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package explore
+
+// The checkpoint axis in design-space exploration: scheme knobs are plain
+// JSON-pointer patches, so they sweep jointly with capacitance, timestep,
+// and workload partitioning without any explore-layer special casing.
+
+import (
+	"strings"
+	"testing"
+
+	"react/internal/ckpt"
+	"react/internal/scenario"
+)
+
+// ckptSpec is testSpec with a periodic checkpoint scheme attached.
+func ckptSpec() *scenario.Spec {
+	s := testSpec()
+	s.Device.Checkpoint = &ckpt.Config{Scheme: "periodic", Interval: 5}
+	return s
+}
+
+func TestPatchCheckpointKnob(t *testing.T) {
+	sp := &Space{
+		Spec:    ckptSpec(),
+		Presets: []string{"REACT"},
+		Patches: []PatchAxis{{Path: "/device/checkpoint/interval", Values: []float64{1, 2, 4}}},
+	}
+	plan, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(plan.Points))
+	}
+	fps := map[string]bool{}
+	for _, pt := range plan.Points {
+		want := pt.Params["/device/checkpoint/interval"]
+		ck := pt.Spec.Device.Checkpoint
+		if ck == nil || ck.Interval != want {
+			t.Errorf("patch not applied: checkpoint %+v, param %g", ck, want)
+		}
+		fp, err := pt.Spec.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[fp] = true
+	}
+	if len(fps) != 3 {
+		t.Errorf("%d distinct cell addresses, want 3 (interval must separate them)", len(fps))
+	}
+}
+
+// TestPatchCheckpointRequiresScheme: sweeping a scheme knob over a
+// scheme-less base creates a checkpoint block with no scheme — the "none"
+// canonical form, which takes no knobs. The sweep must fail at Resolve,
+// not silently explore three identical flat-boot devices.
+func TestPatchCheckpointRequiresScheme(t *testing.T) {
+	sp := &Space{
+		Spec:    testSpec(),
+		Presets: []string{"REACT"},
+		Patches: []PatchAxis{{Path: "/device/checkpoint/interval", Values: []float64{1, 2, 4}}},
+	}
+	_, err := sp.Resolve()
+	if err == nil || !strings.Contains(err.Error(), "takes no") {
+		t.Errorf("knob sweep over a scheme-less base must fail loudly, got %v", err)
+	}
+}
+
+// TestPatchSegmentsJointWithCapacitance is the joint sweep the catalogue's
+// recorded exploration uses: ML partition count × buffer capacitance. The
+// whole-number patch values must land in the int Segments field.
+func TestPatchSegmentsJointWithCapacitance(t *testing.T) {
+	base := testSpec()
+	base.Workload = scenario.WorkloadSpec{Bench: "ML"}
+	sp := &Space{
+		Spec:    base,
+		Static:  &StaticAxis{From: 1e-3, To: 10e-3, Points: 3},
+		Patches: []PatchAxis{{Path: "/workload/segments", Values: []float64{2, 4, 8}}},
+	}
+	plan, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 9 {
+		t.Fatalf("%d points, want 3 segments × 3 capacitances", len(plan.Points))
+	}
+	if len(plan.groups) != 3 {
+		t.Fatalf("%d bisection groups, want one per segments value", len(plan.groups))
+	}
+	for _, pt := range plan.Points {
+		if got := float64(pt.Spec.Workload.Segments); got != pt.Params["/workload/segments"] {
+			t.Errorf("segments patch not applied: %g vs %g", got, pt.Params["/workload/segments"])
+		}
+	}
+}

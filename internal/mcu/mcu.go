@@ -10,8 +10,10 @@ package mcu
 
 import (
 	"fmt"
+	"strings"
 
 	"react/internal/buffer"
+	"react/internal/ckpt"
 )
 
 // Profile is the electrical envelope of the device.
@@ -47,18 +49,40 @@ func DegradedProfile() Profile {
 	return p
 }
 
+// profiles is the named-profile registry in presentation order, so the
+// known platforms self-enumerate in error messages and CLI listings
+// instead of living in a hand-listed switch.
+var profiles = []struct {
+	name  string
+	build func() Profile
+}{
+	{"default", DefaultProfile},
+	{"degraded", DegradedProfile},
+}
+
+// ProfileNames lists the registered device profiles in presentation order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.name
+	}
+	return names
+}
+
 // NamedProfile returns a device profile by name, so declarative scenario
 // specs can pick the platform without constructing it in code. The empty
 // string and "default" are the paper's testbed; "degraded" is the aged
 // variant.
 func NamedProfile(name string) (Profile, error) {
-	switch name {
-	case "", "default":
-		return DefaultProfile(), nil
-	case "degraded":
-		return DegradedProfile(), nil
+	if name == "" {
+		name = "default"
 	}
-	return Profile{}, fmt.Errorf(`mcu: unknown device profile %q (want "default" or "degraded")`, name)
+	for _, p := range profiles {
+		if p.name == name {
+			return p.build(), nil
+		}
+	}
+	return Profile{}, fmt.Errorf("mcu: unknown device profile %q (known: %s)", name, strings.Join(ProfileNames(), ", "))
 }
 
 // State is the device power state.
@@ -71,6 +95,13 @@ const (
 	Booting
 	// On: running the workload.
 	On
+	// Restoring: powered, reloading the checkpoint image after boot (only
+	// with a checkpoint scheme attached; appended after On so recorded
+	// state series keep their numeric meaning).
+	Restoring
+	// Backing: powered, writing the volatile image to non-volatile memory
+	// (only with a checkpoint scheme attached).
+	Backing
 )
 
 // Env is the view a workload gets of its execution environment on each
@@ -113,12 +144,33 @@ type Workload interface {
 	// Step advances the workload by dt seconds and returns the current
 	// (amps) the device draws over that interval.
 	Step(env *Env, dt float64) float64
-	// PowerOn is called when boot completes at time now.
+	// PowerOn is called when boot (and any checkpoint restore) completes
+	// at time now.
 	PowerOn(now float64)
 	// PowerLost is called on brownout; in-flight atomic work fails.
 	PowerLost(now float64)
-	// Metrics reports the benchmark counters.
+	// Backup is called when an attached checkpoint scheme suspends the
+	// workload at time now to write a backup image. The image captures
+	// everything that survives power loss plus any freezeable volatile
+	// compute; real-time operations in flight (radio bursts, timed sensor
+	// reads, deadline-bound segments) cannot be suspended mid-air and
+	// must be aborted with the workload's usual failure accounting.
+	// Devices without a scheme never call it. Backup may be followed by
+	// PowerLost in the same cycle (a brownout cutting the burst short);
+	// implementations must tolerate the double notification.
+	Backup(now float64)
+	// Metrics reports the benchmark counters. Implementations allocate a
+	// fresh map per call; the engine reads it exactly once, at cell
+	// retirement — callers must not poll it on the tick path.
 	Metrics() map[string]float64
+}
+
+// LostWorker is an optional Workload extension: benchmarks that can drop
+// partially-acquired work in flight (a sample cut mid-burst) report the
+// cumulative loss, in units of the workload's own progress counter.
+// Device.Metrics surfaces it as "lost_work" on scheme-bearing runs.
+type LostWorker interface {
+	LostWork() float64
 }
 
 // Device couples a Profile with a Workload and tracks the on/off statistics
@@ -126,9 +178,26 @@ type Workload interface {
 type Device struct {
 	Prof Profile
 	WL   Workload
+	// Scheme, when non-nil, is the checkpoint backup/restore strategy the
+	// device runs: its trigger policy is consulted once per tick while the
+	// workload runs, backups suspend the workload for the scheme's burst,
+	// and a saved image adds the scheme's restore burst after each boot.
+	// A nil Scheme (the default, and what the "none" config builds) is
+	// the legacy flat-boot device with no per-tick policy cost. Set it
+	// before the first Step and never after.
+	Scheme ckpt.Scheme
 
 	state    State
 	bootLeft float64
+
+	// Checkpoint-burst bookkeeping; untouched when Scheme is nil.
+	phaseLeft float64 // remaining seconds of the Backing/Restoring burst
+	phaseI    float64 // burst current, amps
+	hasCkpt   bool    // a completed image exists in non-volatile memory
+	ckptAt    float64 // last backup completion (or power-on), for cadence
+	// Backups and Restores count completed checkpoint bursts.
+	Backups  int
+	Restores int
 
 	// FirstOn is the time the device first reached the enable voltage
 	// (system latency, Table 4); −1 until it happens.
@@ -161,7 +230,8 @@ func NewDevice(prof Profile, wl Workload) *Device {
 // State returns the current power state.
 func (d *Device) State() State { return d.state }
 
-// Powered reports whether the device is drawing power (booting or on).
+// Powered reports whether the device is drawing power (booting, running,
+// or in a checkpoint burst).
 func (d *Device) Powered() bool { return d.state != Off }
 
 // Step advances the device by dt seconds, drawing energy from buf.
@@ -172,8 +242,7 @@ func (d *Device) Step(now, dt float64, buf buffer.Buffer) {
 		d.leveler, _ = buf.(buffer.Leveler)
 	}
 	v := buf.OutputVoltage()
-	switch d.state {
-	case Off:
+	if d.state == Off {
 		venable := d.Prof.VEnable
 		if d.hinter != nil {
 			venable = d.hinter.EnableVoltage()
@@ -187,22 +256,41 @@ func (d *Device) Step(now, dt float64, buf buffer.Buffer) {
 			d.cycleStart = now
 		}
 		return
-	case Booting, On:
-		if v <= d.Prof.VBrownout {
-			d.powerLost(now)
-			return
-		}
+	}
+	if v <= d.Prof.VBrownout {
+		d.powerLost(now)
+		return
+	}
+
+	// An attached scheme's trigger preempts the workload's tick: the
+	// device suspends the workload and spends this tick on the backup
+	// burst instead.
+	if d.state == On && d.Scheme != nil {
+		d.maybeBackup(now, v, buf)
 	}
 
 	var current float64
-	if d.state == Booting {
+	switch d.state {
+	case Booting:
 		current = d.Prof.ActiveI
 		d.bootLeft -= dt
 		if d.bootLeft <= 0 {
-			d.state = On
-			d.WL.PowerOn(now)
+			d.finishBoot(now)
 		}
-	} else {
+	case Restoring:
+		current = d.phaseI
+		d.phaseLeft -= dt
+		if d.phaseLeft <= 0 {
+			d.Restores++
+			d.turnOn(now)
+		}
+	case Backing:
+		current = d.phaseI
+		d.phaseLeft -= dt
+		if d.phaseLeft <= 0 {
+			d.finishBackup(now)
+		}
+	default: // On
 		d.env = Env{
 			Now:          now,
 			Voltage:      v,
@@ -223,9 +311,74 @@ func (d *Device) Step(now, dt float64, buf buffer.Buffer) {
 	}
 }
 
+// maybeBackup consults the scheme's trigger policy and, when it fires,
+// suspends the workload and enters the backup burst. Only called while On
+// with v above the brownout voltage.
+func (d *Device) maybeBackup(now, v float64, buf buffer.Buffer) {
+	st := ckpt.State{
+		Now:         now,
+		Voltage:     v,
+		Usable:      0.5 * buf.Capacitance() * (v*v - d.Prof.VBrownout*d.Prof.VBrownout),
+		SinceBackup: now - d.ckptAt,
+	}
+	if !d.Scheme.WillBackup(st) {
+		return
+	}
+	bc := d.Scheme.Backup()
+	d.WL.Backup(now)
+	d.state = Backing
+	d.phaseLeft = bc.Time
+	d.phaseI = bc.I
+}
+
+// finishBoot moves a booted device to On — via the scheme's restore burst
+// first when a saved image exists.
+func (d *Device) finishBoot(now float64) {
+	if d.Scheme != nil && d.hasCkpt {
+		rc := d.Scheme.Restore()
+		if rc.Time > 0 {
+			d.state = Restoring
+			d.phaseLeft = rc.Time
+			d.phaseI = rc.I
+			return
+		}
+		d.Restores++ // a free restore completes within the boot tick
+	}
+	d.turnOn(now)
+}
+
+// turnOn starts the workload and restarts the backup cadence clock.
+func (d *Device) turnOn(now float64) {
+	d.state = On
+	d.ckptAt = now
+	d.WL.PowerOn(now)
+}
+
+// finishBackup commits the image and applies the scheme's disposition:
+// gate off (a controlled suspend — the image is safe, so the workload is
+// not notified of a loss and the power cycle closes cleanly) or resume
+// the workload where the burst left it.
+func (d *Device) finishBackup(now float64) {
+	d.hasCkpt = true
+	d.Backups++
+	d.ckptAt = now
+	if d.Scheme.PowerDown() {
+		d.Cycles++
+		d.CycleTime += now - d.cycleStart
+		d.state = Off
+		return
+	}
+	d.state = On
+}
+
 // powerLost gates the device off and closes the current power cycle.
 func (d *Device) powerLost(now float64) {
-	if d.state == On {
+	switch d.state {
+	case On, Backing:
+		// A brownout mid-backup cuts the image write short: the volatile
+		// state is lost exactly as in a raw brownout (any previously
+		// completed image persists). The workload already saw Backup;
+		// tolerating the double notification is part of its contract.
 		d.WL.PowerLost(now)
 	}
 	if d.state != Off {
@@ -233,6 +386,26 @@ func (d *Device) powerLost(now float64) {
 		d.CycleTime += now - d.cycleStart
 	}
 	d.state = Off
+}
+
+// Metrics returns the workload's counters, augmented with the device's
+// checkpoint accounting when a scheme is attached: "ckpt_backups" and
+// "ckpt_restores" count completed bursts, and "lost_work" surfaces the
+// workload's in-flight losses when it reports them (LostWorker). Without
+// a scheme the workload's map is returned untouched, so legacy runs keep
+// their exact metric key set. Like Workload.Metrics, it is read once, at
+// retirement.
+func (d *Device) Metrics() map[string]float64 {
+	m := d.WL.Metrics()
+	if d.Scheme == nil {
+		return m
+	}
+	m["ckpt_backups"] = float64(d.Backups)
+	m["ckpt_restores"] = float64(d.Restores)
+	if lw, ok := d.WL.(LostWorker); ok {
+		m["lost_work"] = lw.LostWork()
+	}
+	return m
 }
 
 // MeanCycle returns the mean uninterrupted power-cycle length, or 0 when no

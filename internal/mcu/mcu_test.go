@@ -2,9 +2,11 @@ package mcu
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"react/internal/buffer"
+	"react/internal/ckpt"
 )
 
 // stubWorkload records lifecycle calls and draws a fixed current.
@@ -13,6 +15,7 @@ type stubWorkload struct {
 	steps    int
 	powerOn  int
 	powerOff int
+	backups  int
 }
 
 func (s *stubWorkload) Name() string { return "stub" }
@@ -22,6 +25,7 @@ func (s *stubWorkload) Step(env *Env, dt float64) float64 {
 }
 func (s *stubWorkload) PowerOn(now float64)   { s.powerOn++ }
 func (s *stubWorkload) PowerLost(now float64) { s.powerOff++ }
+func (s *stubWorkload) Backup(now float64)    { s.backups++ }
 func (s *stubWorkload) Metrics() map[string]float64 {
 	return map[string]float64{"steps": float64(s.steps)}
 }
@@ -194,5 +198,121 @@ func TestNamedProfile(t *testing.T) {
 	}
 	if _, err := NamedProfile("overclocked"); err == nil {
 		t.Error("unknown profile must error")
+	}
+}
+
+func TestProfileNamesEnumerate(t *testing.T) {
+	names := ProfileNames()
+	if len(names) < 2 || names[0] != "default" {
+		t.Fatalf("ProfileNames() = %v", names)
+	}
+	for _, n := range names {
+		if _, err := NamedProfile(n); err != nil {
+			t.Errorf("listed profile %q does not build: %v", n, err)
+		}
+	}
+	// Unknown-profile errors enumerate the registry.
+	_, err := NamedProfile("overclocked")
+	if err == nil || !strings.Contains(err.Error(), "default, degraded") {
+		t.Errorf("error must list known profiles, got %v", err)
+	}
+}
+
+func TestDeviceODABSuspendsBeforeBrownout(t *testing.T) {
+	wl := &stubWorkload{current: 2e-3}
+	d := NewDevice(DefaultProfile(), wl)
+	d.Scheme, _ = ckpt.Build(ckpt.Config{Scheme: "odab"})
+	buf := newBuf(1e-3, 3.5)
+	sawBacking := false
+	var now float64
+	for i := 0; i < 5000 && d.State() != Off || i == 0; i++ {
+		now = float64(i) * 1e-3
+		d.Step(now, 1e-3, buf)
+		if d.State() == Backing {
+			sawBacking = true
+		}
+	}
+	if !sawBacking {
+		t.Fatal("odab never entered the backup burst")
+	}
+	if d.Backups != 1 {
+		t.Fatalf("Backups = %d, want 1 (one all-backup per cycle)", d.Backups)
+	}
+	if wl.backups != 1 {
+		t.Errorf("workload saw %d Backup calls, want 1", wl.backups)
+	}
+	if wl.powerOff != 0 {
+		t.Errorf("a controlled suspend must not notify PowerLost (got %d)", wl.powerOff)
+	}
+	if buf.OutputVoltage() <= DefaultProfile().VBrownout {
+		t.Error("odab must park above the brownout voltage, not ride it down")
+	}
+	if d.Cycles != 1 {
+		t.Errorf("the suspend must close the power cycle: Cycles = %d", d.Cycles)
+	}
+
+	// Recharge: the next cycle boots, pays the restore burst, then runs.
+	buf.Harvest(8e-3)
+	sawRestoring := false
+	for i := 0; i < 1000; i++ {
+		d.Step(now+float64(i+1)*1e-3, 1e-3, buf)
+		if d.State() == Restoring {
+			sawRestoring = true
+		}
+		if d.State() == On {
+			break
+		}
+	}
+	if !sawRestoring {
+		t.Error("a saved image must add a restore burst after boot")
+	}
+	if d.Restores != 1 {
+		t.Errorf("Restores = %d, want 1", d.Restores)
+	}
+	if wl.powerOn != 2 {
+		t.Errorf("workload powered on %d times, want 2", wl.powerOn)
+	}
+}
+
+func TestDevicePeriodicBackupResumes(t *testing.T) {
+	wl := &stubWorkload{current: 1e-3}
+	d := NewDevice(DefaultProfile(), wl)
+	d.Scheme, _ = ckpt.Build(ckpt.Config{Scheme: "periodic", Interval: 0.2})
+	buf := newBuf(10e-3, 3.5)
+	for i := 0; i < 1000; i++ { // 1 s: boot + ~2-3 snapshot cycles
+		d.Step(float64(i)*1e-3, 1e-3, buf)
+	}
+	if d.Backups < 2 {
+		t.Fatalf("Backups = %d, want several snapshots over 1 s at 0.2 s cadence", d.Backups)
+	}
+	if d.State() != On {
+		t.Errorf("periodic snapshots must resume: state %v", d.State())
+	}
+	if d.Cycles != 0 || wl.powerOff != 0 {
+		t.Errorf("no power cycle may close (Cycles %d, PowerLost %d)", d.Cycles, wl.powerOff)
+	}
+	if wl.backups != d.Backups {
+		t.Errorf("workload saw %d Backup calls for %d backups", wl.backups, d.Backups)
+	}
+	if wl.powerOn != 1 {
+		t.Errorf("workload powered on %d times, want 1", wl.powerOn)
+	}
+}
+
+func TestDeviceMetricsMergeSchemeCounters(t *testing.T) {
+	wl := &stubWorkload{current: 1e-3}
+	d := NewDevice(DefaultProfile(), wl)
+	m := d.Metrics()
+	if _, ok := m["ckpt_backups"]; ok {
+		t.Error("a scheme-less device must not add checkpoint metrics")
+	}
+	d.Scheme, _ = ckpt.Build(ckpt.Config{Scheme: "periodic"})
+	d.Backups, d.Restores = 3, 2
+	m = d.Metrics()
+	if m["ckpt_backups"] != 3 || m["ckpt_restores"] != 2 {
+		t.Errorf("scheme counters not merged: %v", m)
+	}
+	if m["steps"] != float64(wl.steps) {
+		t.Error("workload counters must pass through")
 	}
 }

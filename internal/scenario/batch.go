@@ -99,11 +99,15 @@ func RunBatch(items []BatchItem, opt RunOptions, st *sim.Stats) ([]sim.Result, e
 		if err != nil {
 			return nil, fail(err)
 		}
+		dev := mcu.NewDevice(prof, wl)
+		if dev.Scheme, err = s.Device.BuildScheme(); err != nil {
+			return nil, fail(err)
+		}
 		cfgs[i] = sim.Config{
 			DT:       dt,
 			Frontend: harvest.NewFrontend(tr, conv),
 			Buffer:   buf,
-			Device:   mcu.NewDevice(prof, wl),
+			Device:   dev,
 			TailCap:  s.TailCap,
 			RecordDT: opt.RecordDT,
 		}

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"strings"
+
+	"react/internal/ckpt"
 )
 
 // paperTraces maps the paper grid's generator names to the trace names
@@ -95,6 +97,24 @@ func init() {
 		Trace:    TraceSpec{Gen: "solar-campus", Duration: 1500},
 		Workload: WorkloadSpec{Bench: "MIX"},
 		Buffers:  Presets("770 µF", "10 mF", "Morphy", "REACT"),
+	})
+	mustRegister(&Spec{
+		Name:     "ckpt-odab-de",
+		Title:    "on-demand all-backup: suspend-with-image instead of brownout on weak RF",
+		Trace:    TraceSpec{Gen: "rf-obstructed"},
+		Device:   DeviceSpec{Checkpoint: &ckpt.Config{Scheme: "odab"}},
+		Workload: WorkloadSpec{Bench: "DE"},
+		Buffers:  Presets("770 µF", "10 mF", "REACT"),
+	})
+	mustRegister(&Spec{
+		Name:  "ckpt-periodic-mix",
+		Title: "1 s periodic snapshots under the mixed sensing/transmit duty on RF Cart",
+		Trace: TraceSpec{Gen: "rf-cart"},
+		Device: DeviceSpec{
+			Checkpoint: &ckpt.Config{Scheme: "periodic", Interval: 1},
+		},
+		Workload: WorkloadSpec{Bench: "MIX"},
+		Buffers:  Presets("770 µF", "10 mF", "REACT"),
 	})
 
 	// The paper grid: every §4.2 benchmark × Table 3 trace cell, each over

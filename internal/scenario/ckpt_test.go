@@ -1,0 +1,165 @@
+package scenario_test
+
+// The checkpoint axis at the scenario layer: the JSON-expressible
+// DeviceSpec.Checkpoint block, its validation, and — most load-bearing —
+// its fingerprint canonicalization. A scheme-less device must keep the
+// content address it had before checkpoint schemes existed, and an
+// explicit no-op block must collapse onto it, or every cached cell in a
+// deployed service would be orphaned by this refactor.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"react/internal/ckpt"
+	"react/internal/scenario"
+)
+
+// TestFingerprintCheckpointCanonicalization pins the address algebra of
+// the checkpoint block.
+func TestFingerprintCheckpointCanonicalization(t *testing.T) {
+	base := mustFP(t, fpSpec(), scenario.RunOptions{})
+
+	// The explicit no-op forms collapse onto the legacy (nil) address.
+	for _, cfg := range []ckpt.Config{{}, {Scheme: "none"}} {
+		s := fpSpec()
+		s.Device.Checkpoint = &cfg
+		if got := mustFP(t, s, scenario.RunOptions{}); got != base {
+			t.Errorf("explicit %+v checkpoint must share the scheme-less address", cfg)
+		}
+	}
+
+	// A defaulted scheme block and its spelled-out equivalent are one run.
+	odab := fpSpec()
+	odab.Device.Checkpoint = &ckpt.Config{Scheme: "odab"}
+	odabFP := mustFP(t, odab, scenario.RunOptions{})
+	spelled := fpSpec()
+	spelled.Device.Checkpoint = &ckpt.Config{
+		Scheme: "odab", Margin: ckpt.DefaultMargin,
+		BackupTime: ckpt.DefaultBackup().Time, BackupI: ckpt.DefaultBackup().I,
+		RestoreTime: ckpt.DefaultRestore().Time, RestoreI: ckpt.DefaultRestore().I,
+	}
+	if got := mustFP(t, spelled, scenario.RunOptions{}); got != odabFP {
+		t.Error("a spelled-out default odab block must hash like the defaulted one")
+	}
+
+	// Scheme choice and scheme knobs separate addresses.
+	seen := map[string]string{"base": base, "odab": odabFP}
+	variants := map[string]ckpt.Config{
+		"periodic":          {Scheme: "periodic"},
+		"periodic interval": {Scheme: "periodic", Interval: 2},
+		"odab margin":       {Scheme: "odab", Margin: 2},
+		"odab backup cost":  {Scheme: "odab", BackupTime: 0.2},
+	}
+	for label, cfg := range variants {
+		s := fpSpec()
+		s.Device.Checkpoint = &cfg
+		fp := mustFP(t, s, scenario.RunOptions{})
+		for prev, prevFP := range seen {
+			if fp == prevFP {
+				t.Errorf("%q collides with %q", label, prev)
+			}
+		}
+		seen[label] = fp
+	}
+}
+
+// TestEveryScenarioNoneSchemeKeepsAddress is the registry-wide equivalence
+// suite: for every registered scenario, adding an explicit "none"
+// checkpoint block changes neither validity nor the content address — so
+// every one of the golden files also pins the explicit-none spelling.
+func TestEveryScenarioNoneSchemeKeepsAddress(t *testing.T) {
+	for _, name := range scenario.Names() {
+		s, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("registry lists unknown scenario %q", name)
+		}
+		if s.Device.Checkpoint != nil {
+			continue // scheme-bearing scenarios have their own addresses
+		}
+		want := mustFP(t, s, scenario.RunOptions{})
+		c := s.Clone()
+		c.Device.Checkpoint = &ckpt.Config{Scheme: "none"}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: explicit none must validate: %v", name, err)
+		}
+		if got := mustFP(t, c, scenario.RunOptions{}); got != want {
+			t.Errorf("%s: explicit none checkpoint moved the content address", name)
+		}
+	}
+}
+
+// TestCellExplicitNoneBitIdentical runs one fast scenario's cell both ways:
+// the explicit no-op block must be bit-identical to the nil pointer, not
+// just address-identical.
+func TestCellExplicitNoneBitIdentical(t *testing.T) {
+	s, ok := scenario.Lookup("energy-attack")
+	if !ok {
+		t.Fatal("energy-attack scenario missing")
+	}
+	want, err := s.Cell(0, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.Device.Checkpoint = &ckpt.Config{Scheme: "none"}
+	got, err := c.Cell(0, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("explicit none checkpoint diverges from the scheme-less run")
+	}
+}
+
+// TestValidateCheckpoint covers the checkpoint block's validation paths
+// through Spec.Validate and ParseSpec.
+func TestValidateCheckpoint(t *testing.T) {
+	bad := fpSpec()
+	bad.Device.Checkpoint = &ckpt.Config{Scheme: "flash"}
+	err := bad.Validate()
+	if err == nil || !strings.Contains(err.Error(), "none, odab, periodic") {
+		t.Errorf("unknown scheme must fail listing the registry, got %v", err)
+	}
+	knob := fpSpec()
+	knob.Device.Checkpoint = &ckpt.Config{Scheme: "none", Interval: 3}
+	if err := knob.Validate(); err == nil {
+		t.Error("a knob on the none scheme must be rejected")
+	}
+
+	parsed, err := scenario.ParseSpec([]byte(`{
+		"name": "json-ckpt",
+		"trace": {"gen": "rf-cart"},
+		"device": {"checkpoint": {"scheme": "periodic", "interval": 2.5}},
+		"workload": {"bench": "DE"},
+		"buffers": [{"preset": "REACT"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Device.Checkpoint == nil || parsed.Device.Checkpoint.Interval != 2.5 {
+		t.Errorf("checkpoint block lost in JSON round-trip: %+v", parsed.Device.Checkpoint)
+	}
+	if _, err := scenario.ParseSpec([]byte(`{
+		"name": "json-ckpt-bad",
+		"trace": {"gen": "rf-cart"},
+		"device": {"checkpoint": {"scheme": "odab", "interval": 1}},
+		"workload": {"bench": "DE"},
+		"buffers": [{"preset": "REACT"}]
+	}`)); err == nil || !strings.Contains(err.Error(), "interval") {
+		t.Errorf("odab with an interval knob must be rejected, got %v", err)
+	}
+}
+
+// TestCloneDeepCopiesCheckpoint: mutating a clone's checkpoint block must
+// not reach back into the original (the explore layer patches clones).
+func TestCloneDeepCopiesCheckpoint(t *testing.T) {
+	s := fpSpec()
+	s.Device.Checkpoint = &ckpt.Config{Scheme: "periodic", Interval: 1}
+	c := s.Clone()
+	c.Device.Checkpoint.Interval = 9
+	if s.Device.Checkpoint.Interval != 1 {
+		t.Error("Clone shares the checkpoint block with the original")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 
+	"react/internal/ckpt"
 	"react/internal/trace"
 )
 
@@ -111,6 +112,22 @@ func (s *Spec) fingerprintBuffers(opt RunOptions, buffers []BufferSpec) (string,
 		TailCap:   s.TailCap,
 		Seed:      opt.seed(s),
 		RecordDT:  opt.RecordDT,
+	}
+	if ck := c.Device.Checkpoint; ck != nil {
+		// Resolve the scheme's defaulted knobs so a defaulted block and its
+		// spelled-out equivalent share one address — and canonicalize the
+		// explicit no-op ({"scheme": "none"} or {}) to the nil pointer, which
+		// the encoder omits entirely: a scheme-less device keeps the address
+		// it had before checkpoint schemes existed.
+		res, err := ckpt.Resolve(*ck)
+		if err != nil {
+			return "", fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if res.Scheme == "none" {
+			c.Device.Checkpoint = nil
+		} else {
+			c.Device.Checkpoint = &res
+		}
 	}
 	if c.Converter == "" {
 		c.Converter = "identity"

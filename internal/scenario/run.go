@@ -101,6 +101,10 @@ func (s *Spec) Cell(i int, opt RunOptions) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	dev := mcu.NewDevice(prof, wl)
+	if dev.Scheme, err = s.Device.BuildScheme(); err != nil {
+		return sim.Result{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	dt := opt.DT
 	if dt == 0 {
 		dt = s.DT
@@ -109,7 +113,7 @@ func (s *Spec) Cell(i int, opt RunOptions) (sim.Result, error) {
 		DT:       dt,
 		Frontend: harvest.NewFrontend(tr, conv),
 		Buffer:   buf,
-		Device:   mcu.NewDevice(prof, wl),
+		Device:   dev,
 		TailCap:  s.TailCap,
 		RecordDT: opt.RecordDT,
 	})

@@ -19,6 +19,7 @@ import (
 
 	"react/internal/buffer"
 	"react/internal/capybara"
+	"react/internal/ckpt"
 	"react/internal/core"
 	"react/internal/harvest"
 	"react/internal/mcu"
@@ -159,16 +160,21 @@ func (ts TraceSpec) validate() error {
 }
 
 // DeviceSpec selects the computational platform: a named profile plus
-// field-level overrides (zero means "keep the profile's value").
+// field-level overrides (zero means "keep the profile's value") and an
+// optional checkpoint scheme.
 type DeviceSpec struct {
-	// Profile names the base envelope (mcu.NamedProfile): "", "default",
-	// or "degraded".
+	// Profile names the base envelope (mcu.NamedProfile); mcu.ProfileNames
+	// enumerates the registry.
 	Profile   string  `json:"profile,omitempty"`
 	VEnable   float64 `json:"v_enable,omitempty"`
 	VBrownout float64 `json:"v_brownout,omitempty"`
 	BootTime  float64 `json:"boot_time,omitempty"`
 	ActiveI   float64 `json:"active_i,omitempty"`
 	SleepI    float64 `json:"sleep_i,omitempty"`
+	// Checkpoint selects a backup/restore scheme (ckpt.Names enumerates
+	// them). Nil, and the canonical form of {"scheme": "none"}, mean the
+	// legacy flat-boot device: every brownout loses volatile state.
+	Checkpoint *ckpt.Config `json:"checkpoint,omitempty"`
 }
 
 // Build resolves the device profile.
@@ -193,6 +199,29 @@ func (ds DeviceSpec) Build() (mcu.Profile, error) {
 		prof.SleepI = ds.SleepI
 	}
 	return prof, nil
+}
+
+// BuildScheme resolves the checkpoint block into a scheme for
+// mcu.Device.Scheme. Nil means the flat-boot default (as does an explicit
+// "none" block — the two are one fingerprint, see canonicalCheckpoint).
+func (ds DeviceSpec) BuildScheme() (ckpt.Scheme, error) {
+	if ds.Checkpoint == nil {
+		return nil, nil
+	}
+	return ckpt.Build(*ds.Checkpoint)
+}
+
+// validate checks the device selection, including the checkpoint block.
+func (ds DeviceSpec) validate() error {
+	if _, err := ds.Build(); err != nil {
+		return err
+	}
+	if ds.Checkpoint != nil {
+		if _, err := ckpt.Resolve(*ds.Checkpoint); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WorkloadSpec selects the benchmark program and its knobs (zero values
@@ -466,7 +495,7 @@ func (s *Spec) Validate() error {
 	if _, err := harvest.ByName(s.Converter); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	if _, err := s.Device.Build(); err != nil {
+	if err := s.Device.validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	if err := s.Workload.validate(); err != nil {
@@ -513,6 +542,10 @@ func (s *Spec) Clone() *Spec {
 			cp := *st
 			c.Buffers[i].Static = &cp
 		}
+	}
+	if ck := s.Device.Checkpoint; ck != nil {
+		cp := *ck
+		c.Device.Checkpoint = &cp
 	}
 	return &c
 }

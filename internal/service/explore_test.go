@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"react/internal/ckpt"
 	"react/internal/explore"
 	"react/internal/scenario"
 )
@@ -234,5 +235,83 @@ func TestExploreSubmitRejections(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("rejected submissions must not be tracked (got HTTP %d)", resp.StatusCode)
+	}
+}
+
+// TestExploreMLSegmentsBisectZeroNewSims is the checkpoint-axis acceptance
+// pin: a joint sweep of the ML partition count (a /workload/segments patch)
+// and buffer capacitance on a checkpoint-bearing device, followed by a
+// bisection over the same lattice — the bisection must touch only cached
+// cells: zero new simulations, cell hits rise, misses stay put.
+func TestExploreMLSegmentsBisectZeroNewSims(t *testing.T) {
+	_, c := newTestService(t, Config{})
+	ctx := context.Background()
+	base := exploreBase()
+	base.Workload = scenario.WorkloadSpec{Bench: "ML"}
+	base.Device.Checkpoint = &ckpt.Config{Scheme: "periodic", Interval: 2}
+	axis := &explore.StaticAxis{From: 500e-6, To: 10e-3, Points: 6}
+	segs := explore.PatchAxis{Path: "/workload/segments", Values: []float64{2, 4}}
+
+	grid, err := c.Explore(ctx, &explore.Space{
+		Spec: base, Static: axis, Patches: []explore.PatchAxis{segs}, Seeds: []uint64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Result == nil || grid.Result.Evaluated != 12 {
+		t.Fatalf("grid did not evaluate segments × capacitance: %+v", grid.Result)
+	}
+	// First-boot latency rises monotonically with capacitance and ignores
+	// the partition count, so "latency ≥ k" is the rising predicate
+	// bisection assumes; k between two interior lattice points forces real
+	// midpoint probes in both segment groups.
+	l2, _ := grid.Result.Points[2].Value("latency")
+	l3, _ := grid.Result.Points[3].Value("latency")
+	if !(l2 < l3) {
+		t.Fatalf("latency not rising across the lattice (%g, %g)", l2, l3)
+	}
+	k := (l2 + l3) / 2
+	m0, _ := c.Metrics(ctx)
+
+	bis, err := c.Explore(ctx, &explore.Space{
+		Spec: base, Static: axis, Patches: []explore.PatchAxis{segs}, Seeds: []uint64{1},
+		Strategy: explore.StrategyBisect,
+		Target:   &explore.Target{Metric: "latency", Min: &k},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bis.NewCells != 0 || bis.CachedCells != len(bis.Cells) {
+		t.Errorf("bisection attached fresh cells: %d new, %d cached of %d",
+			bis.NewCells, bis.CachedCells, len(bis.Cells))
+	}
+	m1, _ := c.Metrics(ctx)
+	if m1.CellMisses != m0.CellMisses || m1.SimsCompleted != m0.SimsCompleted {
+		t.Errorf("bisection re-simulated covered cells: misses %d -> %d, sims %d -> %d",
+			m0.CellMisses, m1.CellMisses, m0.SimsCompleted, m1.SimsCompleted)
+	}
+	if m1.CellHits <= m0.CellHits {
+		t.Errorf("cell hits did not rise (%d -> %d)", m0.CellHits, m1.CellHits)
+	}
+	// One best point per segments group, each agreeing with a grid scan.
+	if len(bis.Result.Best) != 2 {
+		t.Fatalf("want one bisection answer per segments value, got %+v", bis.Result.Best)
+	}
+	for _, b := range bis.Result.Best {
+		if !b.Satisfied {
+			t.Errorf("bisection found no satisfying point in a group: %+v", b)
+			continue
+		}
+		if v, ok := bis.Result.Points[b.Point].Value("latency"); !ok || v < k {
+			t.Errorf("best point %d does not meet latency >= %g", b.Point, k)
+		}
+	}
+	// The scheme ran: every evaluated cell carries checkpoint counters.
+	for i, pr := range grid.Result.Points {
+		if pr.Evaluated {
+			if _, ok := pr.Value("ckpt_backups"); !ok {
+				t.Errorf("point %d missing ckpt_backups: the scheme never reached the device", i)
+			}
+		}
 	}
 }

@@ -214,7 +214,7 @@ func (c *batchCell) retire(tEnd float64) {
 		Duration:      tEnd,
 		Cycles:        c.dev.Cycles,
 		MeanCycle:     c.dev.MeanCycle(),
-		Metrics:       c.dev.WL.Metrics(),
+		Metrics:       c.dev.Metrics(),
 		Ledger:        *c.buf.Ledger(),
 		Stored:        c.buf.Stored(),
 		InitialStored: c.initial,

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 
+	"react/internal/buffer"
+	"react/internal/ckpt"
 	"react/internal/harvest"
 	"react/internal/mcu"
 	"react/internal/scenario"
@@ -213,5 +215,149 @@ func TestRunBatchValidation(t *testing.T) {
 	}
 	if res, err := sim.RunBatch(nil, nil); err != nil || res != nil {
 		t.Errorf("empty batch: got (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+// schemeCell is presetCell with a checkpoint scheme attached to the
+// device — the configuration the scenario layer builds for a spec with a
+// checkpoint block.
+func schemeCell(t *testing.T, tr *trace.Trace, bufName, bench, scheme string, dt float64, seed uint64) sim.Config {
+	t.Helper()
+	cfg := presetCell(t, tr, bufName, bench, dt, seed, 0)
+	s, err := ckpt.Build(ckpt.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Device.Scheme = s
+	return cfg
+}
+
+// TestSchemeBatchMatchesReference extends the equivalence property to
+// checkpoint-bearing devices: with backups firing mid-trace (periodic) and
+// controlled suspends parking the device with a saved image (odab), the
+// batched executor — including its dead-time fast-forward — must stay
+// bit-identical to the reference loop. The randomized traces' zero-power
+// runs are what make this a fast-forward soundness test: a backup or
+// restore burst in flight holds the device in a powered state, so
+// quiescence can never skip over a pending burst.
+func TestSchemeBatchMatchesReference(t *testing.T) {
+	buffers := []string{"770 µF", "10 mF", "REACT", "Dewdrop"}
+	benches := []string{"DE", "SC", "MIX", "ML"}
+	schemes := []string{"odab", "periodic"}
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := rand.New(rand.NewSource(int64(40 + seed)))
+		tr := synthTrace(r, 1500)
+		for _, dt := range []float64{1e-3, 0.75e-3} {
+			for i, bufName := range buffers {
+				bench := benches[i%len(benches)]
+				scheme := schemes[i%len(schemes)]
+				want, err := sim.RunReference(schemeCell(t, tr, bufName, bench, scheme, dt, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.RunBatch([]sim.Config{schemeCell(t, tr, bufName, bench, scheme, dt, seed)}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[0], want) {
+					t.Errorf("seed %d dt %g %s/%s/%s: scheme batch diverges from reference\n got %+v\nwant %+v",
+						seed, dt, bufName, bench, scheme, got[0], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSchemeMixedLockstepBatch runs scheme-bearing and scheme-less cells
+// in one lockstep pass: per-cell schemes must not leak across the batch.
+func TestSchemeMixedLockstepBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	tr := synthTrace(r, 1500)
+	const seed, dt = 1, 1e-3
+	mk := func() []sim.Config {
+		return []sim.Config{
+			presetCell(t, tr, "770 µF", "DE", dt, seed, 0),
+			schemeCell(t, tr, "770 µF", "DE", "odab", dt, seed),
+			schemeCell(t, tr, "REACT", "MIX", "periodic", dt, seed),
+			presetCell(t, tr, "REACT", "MIX", dt, seed, 0),
+		}
+	}
+	cfgs := mk()
+	want := make([]sim.Result, len(cfgs))
+	for i, cfg := range mk() {
+		res, err := sim.RunReference(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	got, err := sim.RunBatch(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("mixed batch: cell %d diverges from reference", i)
+		}
+	}
+	// The scheme runs differ from their scheme-less twins (the axis is
+	// real) and carry the checkpoint counters.
+	if reflect.DeepEqual(got[0].Metrics, got[1].Metrics) {
+		t.Error("odab run is metric-identical to the flat-boot run; the scheme did nothing")
+	}
+	if _, ok := got[1].Metrics["ckpt_backups"]; !ok {
+		t.Error("scheme run must surface ckpt_backups")
+	}
+	if _, ok := got[0].Metrics["ckpt_backups"]; ok {
+		t.Error("scheme-less run must not surface checkpoint metrics")
+	}
+}
+
+// TestSchemeFastForwardStillEngages pins that an odab device parked with
+// a saved image over a long dead tail is still fast-forwardable — the
+// suspend ends in Off, the one state quiescence may skip. The buffer is a
+// leak-free static cap so the parked charge is provably quiescent; preset
+// buffers leak, which (correctly) keeps them stepping tick by tick.
+func TestSchemeFastForwardStillEngages(t *testing.T) {
+	p := make([]float64, 9000)
+	for i := 0; i < 3000; i++ {
+		p[i] = 3e-3 // charge + run, then a 6000-sample dead tail
+	}
+	tr := &trace.Trace{Name: "fade", DT: 1e-3, Power: p}
+	mk := func() sim.Config {
+		wl, err := scenario.WorkloadSpec{Bench: "DE"}.Build(tr, 1, mcu.DefaultProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := mcu.NewDevice(mcu.DefaultProfile(), wl)
+		dev.Scheme, err = ckpt.Build(ckpt.Config{Scheme: "odab"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Config{
+			DT:       1e-3,
+			Frontend: harvest.NewFrontend(tr, nil),
+			Buffer:   buffer.NewStatic(buffer.StaticConfig{C: 770e-6, VMax: 3.6}),
+			Device:   dev,
+			TailCap:  20,
+		}
+	}
+	want, err := sim.RunReference(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sim.Stats
+	got, err := sim.RunBatch([]sim.Config{mk()}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Error("fast-forwarded odab run diverges from reference")
+	}
+	if want.Metrics["ckpt_backups"] == 0 {
+		t.Fatalf("setup: odab never backed up (metrics %v)", want.Metrics)
+	}
+	if st.TicksFastForwarded == 0 {
+		t.Error("fast-forward never engaged over the dead tail of a suspended device")
 	}
 }

@@ -196,7 +196,7 @@ func RunReference(cfg Config) (Result, error) {
 		Duration:      tEnd,
 		Cycles:        dev.Cycles,
 		MeanCycle:     dev.MeanCycle(),
-		Metrics:       dev.WL.Metrics(),
+		Metrics:       dev.Metrics(),
 		Ledger:        *buf.Ledger(),
 		Stored:        buf.Stored(),
 		InitialStored: initialStored,

@@ -21,6 +21,7 @@ func (w *constWorkload) Name() string                          { return "const" 
 func (w *constWorkload) Step(env *mcu.Env, dt float64) float64 { w.steps++; return w.current }
 func (w *constWorkload) PowerOn(now float64)                   {}
 func (w *constWorkload) PowerLost(now float64)                 { w.losses++ }
+func (w *constWorkload) Backup(now float64)                    {}
 func (w *constWorkload) Metrics() map[string]float64 {
 	return map[string]float64{"steps": float64(w.steps)}
 }

@@ -34,6 +34,7 @@ type MixedDuty struct {
 	failedRd float64 // sensing bursts cut by power loss
 	tx       float64
 	failedTX float64
+	lost     float64 // in-flight samples dropped when a burst was cut
 }
 
 // NewMixedDuty builds the MIX workload: a 2 s sensing cadence and
@@ -109,17 +110,32 @@ func (w *MixedDuty) PowerOn(now float64) {
 
 // PowerLost implements mcu.Workload: an interrupted burst yields no sample
 // and an interrupted batch transmission is wasted energy; the pending
-// samples themselves survive in FRAM and will be retried.
+// samples themselves survive in FRAM and will be retried. The
+// partially-acquired sample of a cut burst is in-flight work the failure
+// counter alone doesn't expose — it also accrues to LostWork.
 func (w *MixedDuty) PowerLost(now float64) {
 	if w.inBurst {
 		w.inBurst = false
 		w.failedRd++
+		w.lost++
 	}
 	if w.inTX {
 		w.inTX = false
 		w.failedTX++
 	}
 }
+
+// Backup implements mcu.Workload: timed sensor reads and radio bursts
+// cannot be frozen mid-air, so a checkpoint suspension aborts them with
+// the same accounting as power loss; the pending FRAM samples survive in
+// the image either way.
+func (w *MixedDuty) Backup(now float64) { w.PowerLost(now) }
+
+// LostWork implements mcu.LostWorker: cumulative in-flight samples
+// dropped when sensing bursts were cut (by brownout or by a checkpoint
+// suspension). Batch transmissions lose no samples — pending counts
+// survive in FRAM and are retried.
+func (w *MixedDuty) LostWork() float64 { return w.lost }
 
 // Metrics implements mcu.Workload.
 func (w *MixedDuty) Metrics() map[string]float64 {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"react/internal/ckpt"
 	"react/internal/mcu"
 )
 
@@ -15,12 +16,18 @@ import (
 // previous checkpoint persists. On buffers exposing capacitance levels the
 // workload waits in deep sleep until one segment (compute + checkpoint) is
 // guaranteed, mirroring the §3.4.1 longevity discipline.
+//
+// The per-segment checkpoint is a workload-managed scheme: its burst is
+// expressed through the shared cost model (ckpt.Cost) the device-level
+// schemes use, but the trigger is the workload's own segment boundary —
+// which is why an attached device scheme adds nothing for ML beyond what
+// the segment grain already persists.
 type MLInference struct {
-	SleepI   float64 // deep-sleep current between segments
-	InferI   float64 // current during a compute segment
-	SegTime  float64 // active seconds per segment
-	CkptI    float64 // current during the FRAM checkpoint write
-	CkptTime float64 // checkpoint write time, seconds
+	SleepI  float64 // deep-sleep current between segments
+	InferI  float64 // current during a compute segment
+	SegTime float64 // active seconds per segment
+	// Ckpt is the FRAM checkpoint burst written after each segment.
+	Ckpt ckpt.Cost
 	// Segments is the partition count per full inference; progress across
 	// segment boundaries survives power loss.
 	Segments int
@@ -44,8 +51,7 @@ func NewMLInference(sleepI float64) *MLInference {
 		SleepI:   sleepI,
 		InferI:   2.5e-3,
 		SegTime:  0.8,
-		CkptI:    3e-3,
-		CkptTime: 0.1,
+		Ckpt:     ckpt.FRAMSegment(),
 		Segments: 4,
 	}
 }
@@ -55,7 +61,7 @@ func (w *MLInference) Name() string { return "ML" }
 
 // segmentEnergy is the cost of one segment plus its checkpoint at voltage v.
 func (w *MLInference) segmentEnergy(v float64) float64 {
-	return (w.SegTime*w.InferI + w.CkptTime*w.CkptI) * v
+	return (w.SegTime*w.InferI + w.Ckpt.Time*w.Ckpt.I) * v
 }
 
 // Step implements mcu.Workload.
@@ -65,7 +71,7 @@ func (w *MLInference) Step(env *mcu.Env, dt float64) float64 {
 		if w.segLeft <= 0 {
 			w.inSeg = false
 			w.inCkpt = true
-			w.ckptLeft = w.CkptTime
+			w.ckptLeft = w.Ckpt.Time
 		}
 		return w.InferI
 	}
@@ -80,7 +86,7 @@ func (w *MLInference) Step(env *mcu.Env, dt float64) float64 {
 				w.inferences++
 			}
 		}
-		return w.CkptI
+		return w.Ckpt.I
 	}
 	if !readyForAtomic(env, w.segmentEnergy(env.Voltage)) {
 		return w.SleepI // gather energy for the next segment
@@ -104,6 +110,12 @@ func (w *MLInference) PowerLost(now float64) {
 		w.lostSegs++
 	}
 }
+
+// Backup implements mcu.Workload: the workload deliberately checkpoints
+// only at segment boundaries (the Gomez et al. partition model), so a
+// device-scheme suspension mid-segment abandons the partial segment just
+// as power loss would; completed segments are already persistent.
+func (w *MLInference) Backup(now float64) { w.PowerLost(now) }
 
 // Metrics implements mcu.Workload.
 func (w *MLInference) Metrics() map[string]float64 {

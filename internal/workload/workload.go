@@ -105,6 +105,11 @@ func (w *DataEncryption) PowerOn(now float64) {}
 // and is lost.
 func (w *DataEncryption) PowerLost(now float64) { w.progress = 0 }
 
+// Backup implements mcu.Workload: encryption is pure compute, so the
+// backup image freezes the partial block and it resumes after restore —
+// the progress a checkpoint scheme saves that a raw brownout destroys.
+func (w *DataEncryption) Backup(now float64) {}
+
 // Metrics implements mcu.Workload.
 func (w *DataEncryption) Metrics() map[string]float64 {
 	return map[string]float64{"blocks": w.blocks}
@@ -248,6 +253,12 @@ func (w *SenseCompute) PowerLost(now float64) {
 	}
 }
 
+// Backup implements mcu.Workload: a timed sensor read cannot be frozen
+// mid-air, so an interrupted burst fails exactly as on power loss, and the
+// timekeeper cell is armed in case the scheme gates the device off after
+// the burst (re-arming is overwritten by any later real power loss).
+func (w *SenseCompute) Backup(now float64) { w.PowerLost(now) }
+
 // Metrics implements mcu.Workload.
 func (w *SenseCompute) Metrics() map[string]float64 {
 	m := map[string]float64{
@@ -313,6 +324,11 @@ func (w *RadioTransmit) PowerLost(now float64) {
 		w.failed++
 	}
 }
+
+// Backup implements mcu.Workload: a radio transmission cannot be frozen
+// mid-air — cutting one for a checkpoint burst wastes it just like a
+// brownout would.
+func (w *RadioTransmit) Backup(now float64) { w.PowerLost(now) }
 
 // Metrics implements mcu.Workload.
 func (w *RadioTransmit) Metrics() map[string]float64 {
@@ -441,6 +457,12 @@ func (w *PacketForward) PowerLost(now float64) {
 		w.txFailed++
 	}
 }
+
+// Backup implements mcu.Workload: in-flight radio operations cannot be
+// suspended — an interrupted receive loses its packet and an interrupted
+// transmission is wasted energy, the same accounting as power loss. The
+// queued packets survive in the image.
+func (w *PacketForward) Backup(now float64) { w.PowerLost(now) }
 
 // Metrics implements mcu.Workload.
 func (w *PacketForward) Metrics() map[string]float64 {

@@ -353,7 +353,7 @@ func TestMLInferencePowerLossLosesOnlyInFlightSegment(t *testing.T) {
 	dt := 1e-3
 	// Complete exactly one segment (compute + checkpoint), then die
 	// mid-way through the second.
-	steps := int((w.SegTime+w.CkptTime)/dt) + 2
+	steps := int((w.SegTime+w.Ckpt.Time)/dt) + 2
 	for i := 0; i < steps; i++ {
 		e.Now = float64(i) * dt
 		w.Step(e, dt)
@@ -439,5 +439,67 @@ func TestMixedDutyPowerLossKeepsPendingSamples(t *testing.T) {
 	w.PowerOn(e.Now + 10*w.Period)
 	if w.Metrics()["missed"] < 5 {
 		t.Errorf("deadlines during the outage must be missed: %v", w.Metrics())
+	}
+}
+
+func TestDataEncryptionBackupFreezesProgress(t *testing.T) {
+	w := NewDataEncryption(0.6e-3)
+	e := env(3.3, 10e-3)
+	// Accumulate a partial block, then suspend for a checkpoint: the
+	// progress must survive (pure compute is freezeable), unlike a raw
+	// power loss which discards it.
+	w.Step(e, 100e-3)
+	if w.progress <= 0 {
+		t.Fatal("setup: expected partial-block progress")
+	}
+	before := w.progress
+	w.Backup(0.1)
+	if w.progress != before {
+		t.Errorf("backup discarded the partial block: %g -> %g", before, w.progress)
+	}
+	w.PowerLost(0.2)
+	if w.progress != 0 {
+		t.Error("power loss must discard the partial block")
+	}
+}
+
+func TestMixedDutyLostWorkAccounting(t *testing.T) {
+	w := NewMixedDuty(4e-6)
+	e := env(3.3, 10e-3)
+	e.Now = w.Period // trigger a sensing burst
+	w.Step(e, 1e-3)
+	if !w.inBurst {
+		t.Fatal("setup: expected an in-flight burst")
+	}
+	w.PowerLost(e.Now)
+	if w.LostWork() != 1 {
+		t.Errorf("a burst cut by power loss drops its sample: LostWork = %g, want 1", w.LostWork())
+	}
+	if w.Metrics()["failed"] != 1 {
+		t.Errorf("failure counter must still move: %v", w.Metrics())
+	}
+
+	// A checkpoint suspension accounts identically; an aborted batch
+	// transmission loses no samples (they survive in FRAM).
+	e.Now += w.Period
+	w.Step(e, 1e-3)
+	if !w.inBurst {
+		t.Fatal("setup: expected a second burst")
+	}
+	w.Backup(e.Now)
+	if w.LostWork() != 2 {
+		t.Errorf("a burst cut by a backup drops its sample: LostWork = %g, want 2", w.LostWork())
+	}
+	w.pending = w.BatchN
+	w.inTX = true
+	w.Backup(e.Now + 0.01)
+	if w.LostWork() != 2 {
+		t.Errorf("an aborted transmission must lose no samples: LostWork = %g", w.LostWork())
+	}
+	if w.Metrics()["tx_failed"] != 1 {
+		t.Errorf("aborted transmission must count as failed: %v", w.Metrics())
+	}
+	if w.pending != w.BatchN {
+		t.Error("pending samples must survive the aborted flush")
 	}
 }

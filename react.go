@@ -39,6 +39,7 @@ import (
 
 	"react/internal/buffer"
 	"react/internal/capybara"
+	"react/internal/ckpt"
 	"react/internal/core"
 	"react/internal/explore"
 	"react/internal/harvest"
@@ -225,6 +226,28 @@ func NewDevice(prof Profile, wl Workload) *Device { return mcu.NewDevice(prof, w
 // DefaultProfile returns the paper's testbed envelope (3.3 V enable, 1.8 V
 // brownout, 1.5 mA active, 4 µA sleep).
 func DefaultProfile() Profile { return mcu.DefaultProfile() }
+
+// ProfileNames lists the registered device profiles ("default",
+// "degraded", ...) accepted by scenario device specs.
+func ProfileNames() []string { return mcu.ProfileNames() }
+
+// Checkpoint schemes: pluggable backup/restore strategies a device can
+// carry (set Device.Scheme, or the scenario spec's device checkpoint
+// block).
+type (
+	// CheckpointConfig is the JSON-expressible scheme selection.
+	CheckpointConfig = ckpt.Config
+	// CheckpointScheme is a built trigger/cost policy.
+	CheckpointScheme = ckpt.Scheme
+)
+
+// CheckpointSchemes lists the registered scheme names ("none", "odab",
+// "periodic").
+func CheckpointSchemes() []string { return ckpt.Names() }
+
+// NewCheckpointScheme builds a scheme from its configuration; the "none"
+// scheme (and the zero config) build the nil scheme — a flat-boot device.
+func NewCheckpointScheme(cfg CheckpointConfig) (CheckpointScheme, error) { return ckpt.Build(cfg) }
 
 // Benchmark workloads (§4.2).
 func NewDataEncryption(activeI float64) Workload { return workload.NewDataEncryption(activeI) }
