@@ -1,0 +1,93 @@
+// Command reactlint is the repo's domain-specific multichecker: it runs
+// the internal/lint analyzer suite — determinism, dtarith, fpcomplete,
+// lockhygiene, plus the general nilness and shadow passes — over Go
+// package patterns and exits nonzero on any diagnostic.
+//
+//	go run ./cmd/reactlint ./...          # whole repo (CI runs exactly this)
+//	go run ./cmd/reactlint -rules dtarith ./internal/sim/...
+//	go run ./cmd/reactlint -list
+//
+// Suppress a finding only with a reasoned directive on the flagged line or
+// the line above: //lint:reactlint-ignore <rule> <reason>. DESIGN.md
+// ("Invariants and enforcement") documents the policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"react/internal/lint"
+	"react/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run keeps main testable: 0 = clean, 1 = findings, 2 = usage or load
+// failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reactlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := load.New()
+	pkgs, err := loader.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		fds, err := lint.RunPackage(loader.Fset, pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, f := range fds {
+			findings++
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", relPath(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Rule)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "reactlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens absolute positions to cwd-relative ones for readable,
+// clickable output; paths outside the tree stay absolute.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	rel, err := filepath.Rel(wd, p)
+	if err != nil || len(rel) >= len(p) {
+		return p
+	}
+	return rel
+}

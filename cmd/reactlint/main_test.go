@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean is the acceptance gate CI re-runs as a binary: the whole
+// repository must produce zero diagnostics.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis in -short mode")
+	}
+	root := repoRoot(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("reactlint over the repo: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSeededViolation builds a throwaway module containing a determinism
+// violation and asserts the driver exits 1 and names it — the behavior
+// that makes the CI step fail on a bad commit.
+func TestSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seeded\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "sim", "sim.go"), `package sim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(determinism)") || !strings.Contains(stdout.String(), "wall clock") {
+		t.Fatalf("diagnostic does not name the determinism finding:\n%s", stdout.String())
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d, stderr %s", code, stderr.String())
+	}
+	for _, rule := range []string{"determinism", "dtarith", "fpcomplete", "lockhygiene", "nilness", "shadow"} {
+		if !strings.Contains(stdout.String(), rule+":") {
+			t.Errorf("-list output is missing %s", rule)
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown rule: exit %d, want 2", code)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the go.mod of
+// module react.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil && strings.HasPrefix(string(data), "module react\n") {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module react root not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -551,33 +551,14 @@ func runRemote(addr, name, file string, seed uint64, dt float64, seeds int, json
 		inline = data
 		name = ""
 	}
-	client, err := service.Dial(addr)
+	ctx := context.Background()
+	client, err := service.DialContext(ctx, addr)
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
 
 	if seeds > 1 {
-		req := service.SweepRequest{Scenario: name, Spec: inline, SeedFrom: 1, SeedTo: uint64(seeds)}
-		if dt > 0 {
-			req.DTs = []float64{dt}
-		}
-		st, err := client.Sweep(ctx, req)
-		if err != nil {
-			return err
-		}
-		if jsonOut {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			return enc.Encode(st)
-		}
-		fmt.Printf("sweep    %s over seeds 1..%d (remote %s: %d cached, %d coalesced, %d simulated)\n",
-			st.Scenario, seeds, st.ID, st.CachedCells, st.CoalescedCells, st.NewCells)
-		for _, row := range st.Summary {
-			fmt.Printf("\nbuffer   %s (dt %g s)\n", row.Buffer, row.DT)
-			printSeedSummary(row.SeedSummary)
-		}
-		return nil
+		return runRemoteSweep(ctx, client, name, inline, dt, seeds, jsonOut)
 	}
 
 	st, err := client.Run(ctx, service.RunRequest{Scenario: name, Spec: inline, Seed: seed, DT: dt})
@@ -631,6 +612,31 @@ func runRemote(addr, name, file string, seed uint64, dt float64, seeds int, json
 			fmt.Printf(" %10.0f", r.Metrics[k])
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// runRemoteSweep submits a daemon-side seed sweep and prints the
+// per-buffer seed summaries.
+func runRemoteSweep(ctx context.Context, client *service.Client, name string, inline json.RawMessage, dt float64, seeds int, jsonOut bool) error {
+	req := service.SweepRequest{Scenario: name, Spec: inline, SeedFrom: 1, SeedTo: uint64(seeds)}
+	if dt > 0 {
+		req.DTs = []float64{dt}
+	}
+	st, err := client.Sweep(ctx, req)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("sweep    %s over seeds 1..%d (remote %s: %d cached, %d coalesced, %d simulated)\n",
+		st.Scenario, seeds, st.ID, st.CachedCells, st.CoalescedCells, st.NewCells)
+	for _, row := range st.Summary {
+		fmt.Printf("\nbuffer   %s (dt %g s)\n", row.Buffer, row.DT)
+		printSeedSummary(row.SeedSummary)
 	}
 	return nil
 }
@@ -706,8 +712,8 @@ func runExplore(path, targetStr, remote string, workers int, jsonOut bool) error
 		return err
 	}
 	if targetStr != "" {
-		tgt, err := parseTarget(targetStr)
-		if err != nil {
+		var tgt *explore.Target
+		if tgt, err = parseTarget(targetStr); err != nil {
 			return err
 		}
 		sp.Target = tgt
@@ -715,7 +721,7 @@ func runExplore(path, targetStr, remote string, workers int, jsonOut bool) error
 			sp.Strategy = explore.StrategyBisect
 		}
 		// Revalidate with the new goal and strategy in place.
-		if _, err := sp.Resolve(); err != nil {
+		if _, err = sp.Resolve(); err != nil {
 			return err
 		}
 	}
@@ -723,23 +729,12 @@ func runExplore(path, targetStr, remote string, workers int, jsonOut bool) error
 
 	var res *explore.Result
 	if remote != "" {
-		client, err := service.Dial(remote)
-		if err != nil {
-			return err
-		}
-		st, err := client.Explore(ctx, sp)
-		if err != nil {
-			return err
-		}
-		if !jsonOut {
-			fmt.Printf("remote   %s: %d cached, %d coalesced, %d simulated cells\n",
-				st.ID, st.CachedCells, st.CoalescedCells, st.NewCells)
-		}
-		res = st.Result
+		res, err = exploreRemote(ctx, remote, sp, jsonOut)
 	} else {
-		if res, err = explore.Run(ctx, sp, explore.Local(workers)); err != nil {
-			return err
-		}
+		res, err = explore.Run(ctx, sp, explore.Local(workers))
+	}
+	if err != nil {
+		return err
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -748,6 +743,24 @@ func runExplore(path, targetStr, remote string, workers int, jsonOut bool) error
 	}
 	printExploreResult(res)
 	return nil
+}
+
+// exploreRemote ships the space to a reactd daemon and returns its
+// result (bit-identical to the local path for the same space).
+func exploreRemote(ctx context.Context, remote string, sp *explore.Space, jsonOut bool) (*explore.Result, error) {
+	client, err := service.DialContext(ctx, remote)
+	if err != nil {
+		return nil, err
+	}
+	st, err := client.Explore(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	if !jsonOut {
+		fmt.Printf("remote   %s: %d cached, %d coalesced, %d simulated cells\n",
+			st.ID, st.CachedCells, st.CoalescedCells, st.NewCells)
+	}
+	return st.Result, nil
 }
 
 // printExploreResult renders the shared human-readable exploration report:

@@ -374,6 +374,7 @@ func (b *Buffer) QuiescentOff() bool {
 	if b.llb.VMax > 0 && b.llb.Voltage() > b.llb.VMax {
 		return false
 	}
+	//lint:reactlint-ignore dtarith poll is assigned exactly 1/PollHz on re-arm, so bit-identity means the timer is freshly reset
 	return b.poll == 1/b.cfg.PollHz
 }
 

@@ -378,6 +378,7 @@ func extractFrontier(points []PointResult, pair MetricPair) Frontier {
 	sort.SliceStable(f.Points, func(a, b int) bool {
 		xa, _ := points[f.Points[a]].Value(pair.X)
 		xb, _ := points[f.Points[b]].Value(pair.X)
+		//lint:reactlint-ignore dtarith sort tie-break: only bit-equal keys may fall through to the index comparison, a tolerance would make the order input-dependent
 		if xa != xb {
 			return xa < xb
 		}

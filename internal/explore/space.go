@@ -121,6 +121,7 @@ func (ax *StaticAxis) validate() error {
 	// A degenerate multi-point lattice would yield N identical cell
 	// addresses — the same duplicate-axis-point mistake duplicate seeds
 	// and timesteps are rejected for.
+	//lint:reactlint-ignore dtarith validation of a literally zero-width range; nearly-equal bounds are a legitimate (if odd) lattice
 	if ax.Points > 1 && ax.To == ax.From {
 		return fmt.Errorf("explore: static axis: %d points over a zero-width range (set points to 1 or widen from..to)", ax.Points)
 	}
@@ -307,11 +308,11 @@ func patchSpec(base *scenario.Spec, patches []PatchAxis, choice []int) (*scenari
 		return nil, fmt.Errorf("explore: encoding base spec: %w", err)
 	}
 	var m map[string]any
-	if err := json.Unmarshal(data, &m); err != nil {
+	if err = json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("explore: decoding base spec: %w", err)
 	}
 	for k, pa := range patches {
-		if err := setPointer(m, pa.Path, pa.Values[choice[k]]); err != nil {
+		if err = setPointer(m, pa.Path, pa.Values[choice[k]]); err != nil {
 			return nil, err
 		}
 	}

@@ -154,6 +154,7 @@ func (f *Frontend) Power(t, vBuf float64) float64 {
 // (Trace.At and Trace.Duration treat it as empty), so the index fast path
 // must not replay its samples either.
 func (f *Frontend) Aligned(dt float64) bool {
+	//lint:reactlint-ignore dtarith exact identity IS the invariant: the index fast path is bit-identical to interpolation only when dt equals the sample spacing exactly
 	return f.Trace != nil && dt > 0 && f.Trace.DT == dt
 }
 

@@ -1,0 +1,123 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package and reports position-tagged diagnostics.
+//
+// The repo builds offline with a stdlib-only module, so the real x/tools
+// framework is not importable here; this package keeps the same shape
+// (Analyzer, Pass, Diagnostic, an analysistest-style fixture runner in
+// internal/lint/linttest) so the reactlint analyzers port to the upstream
+// API mechanically if the dependency ever lands. Only the pieces reactlint
+// needs exist: no facts, no modular analysis, no SuggestedFixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Name doubles as the rule key
+// the suppression directive (//lint:reactlint-ignore <rule> <reason>)
+// references.
+type Analyzer struct {
+	// Name is the rule's identifier: lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description `reactlint -list` prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed sources, comments attached.
+	Files []*ast.File
+	// PkgPath is the package's import path. Fixture packages loaded from a
+	// testdata directory get their directory-relative path, so analyzers
+	// that scope themselves by path segment ("sim", "service", ...) behave
+	// identically on fixtures and on the real tree.
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report receives each diagnostic; the driver owns collection,
+	// suppression filtering, and ordering.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file's AST in order, calling f exactly as
+// ast.Inspect does: descend while f returns true.
+func Inspect(files []*ast.File, f func(ast.Node) bool) {
+	for _, file := range files {
+		ast.Inspect(file, f)
+	}
+}
+
+// IsPkgFunc reports whether the called expression resolves to the named
+// function of the named package (e.g. "time", "Now"). It sees through
+// import aliases because it resolves the *types.Func, not the source text.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFloat reports whether t's underlying type is a floating-point basic
+// type (or an untyped float constant type).
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// RootIdent returns the leftmost identifier of a chain of selections,
+// index and star expressions (the `s` of s.cache.entries[k]), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an identifier to its object via Uses then Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

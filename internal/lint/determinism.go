@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"react/internal/lint/analysis"
+)
+
+// deterministicSegments names the packages under the bit-identical
+// determinism contract (ROADMAP tier-1): every table, golden file, and
+// cached cell must regenerate identically for any worker count, batch
+// size, and Go map seed.
+var deterministicSegments = []string{"sim", "scenario", "explore", "runner", "experiments"}
+
+// Determinism forbids the ambient-nondeterminism entry points in the
+// simulation packages: wall-clock time, math/rand, and map-range iteration
+// whose body is order-sensitive (appends to outer slices without a
+// subsequent sort, accumulates floats, or feeds JSON/hash serialization).
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterminism sources in simulation packages
+
+In packages ` + strings.Join(deterministicSegments, "/") + `: no time.Now/Since/Until
+(derive times from the tick index), no math/rand (use react/internal/rng),
+and no order-sensitive bodies under unordered map iteration — collect the
+keys, sort them, then iterate (the scenario.meanStd invariant).`,
+	Run: runDeterminism,
+}
+
+// pathInScope reports whether any slash-separated segment of pkgPath is in
+// segments — "react/internal/sim" and a fixture's "determinism/sim" both
+// match "sim".
+func pathInScope(pkgPath string, segments []string) bool {
+	for _, part := range strings.Split(pkgPath, "/") {
+		for _, s := range segments {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !pathInScope(pass.PkgPath, deterministicSegments) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: randomness in simulation packages must come from react/internal/rng (seeded, platform-stable splitmix64)", path)
+			}
+		}
+	}
+	// Walk function by function so each map range knows its enclosing
+	// body (the collect-sort-iterate idiom is judged per function).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if analysis.IsPkgFunc(pass.TypesInfo, n, "time", "Now", "Since", "Until") {
+						sel := n.Fun.(*ast.SelectorExpr)
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock, which is nondeterministic across runs; derive simulation times from the tick index (float64(tick)*dt)", sel.Sel.Name)
+					}
+				case *ast.RangeStmt:
+					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							checkMapRange(pass, fd.Body, n)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags order-sensitive work in the body of a map range.
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	keyObj := rangeVarObj(info, rs.Key)
+
+	// declaredOutside reports whether the written expression's root object
+	// outlives the range statement (loop-local accumulation is fine).
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		root := analysis.RootIdent(e)
+		if root == nil {
+			return nil, true // conservative: complex targets are "outside"
+		}
+		obj := analysis.ObjectOf(info, root)
+		if obj == nil {
+			return nil, false
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return obj, false
+		}
+		return obj, true
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				t := info.TypeOf(lhs)
+				if t == nil || !analysis.IsFloat(t) {
+					return true
+				}
+				// Accumulating into a map entry addressed by the range key
+				// is per-key and therefore order-independent.
+				if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+					if id, ok := ix.Index.(*ast.Ident); ok && analysis.ObjectOf(info, id) == keyObj {
+						return true
+					}
+				}
+				if _, outside := declaredOutside(lhs); outside {
+					pass.Reportf(n.Pos(), "floating-point accumulation of %s over unordered map iteration is order-dependent; iterate sorted keys (the scenario.meanStd invariant)", types.ExprString(lhs))
+				}
+			case token.ASSIGN:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(info, call) || i >= len(n.Lhs) {
+						continue
+					}
+					dst := n.Lhs[i]
+					obj, outside := declaredOutside(dst)
+					if !outside || obj == nil {
+						continue
+					}
+					if !sortedAfter(pass, funcBody, rs, obj) {
+						pass.Reportf(n.Pos(), "appending to %s while ranging over an unordered map makes element order nondeterministic; iterate sorted keys, or sort %s before it is consumed", types.ExprString(dst), types.ExprString(dst))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := serializationSink(info, n); ok {
+				pass.Reportf(n.Pos(), "%s inside an unordered map range serializes in nondeterministic order; iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Defs[id]
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := analysis.ObjectOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether the function sorts the accumulated slice
+// after the range completes — the sanctioned collect-keys-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := analysis.RootIdent(arg); root != nil && analysis.ObjectOf(pass.TypesInfo, root) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hashPkgs are the packages whose Write/Sum receivers count as hash sinks.
+var hashPkgs = map[string]bool{
+	"hash": true, "crypto/sha256": true, "crypto/sha512": true,
+	"crypto/sha1": true, "crypto/md5": true, "hash/fnv": true,
+	"hash/crc32": true, "hash/crc64": true, "hash/adler32": true,
+	"hash/maphash": true,
+}
+
+// serializationSink recognizes calls whose output depends on call order:
+// JSON encoding and hash writes.
+func serializationSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if analysis.IsPkgFunc(info, call, "encoding/json", "Marshal", "MarshalIndent") {
+		return "json." + sel.Sel.Name, true
+	}
+	// Method sinks: (*json.Encoder).Encode, (hash.Hash).Write/Sum.
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return "", false
+	}
+	named := namedOf(recv)
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	pkgPath, typeName := named.Obj().Pkg().Path(), named.Obj().Name()
+	if pkgPath == "encoding/json" && typeName == "Encoder" && fn.Name() == "Encode" {
+		return "json.Encoder.Encode", true
+	}
+	if hashPkgs[pkgPath] && (fn.Name() == "Write" || fn.Name() == "Sum") {
+		return "hash " + typeName + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.Determinism},
+		"determinism/sim", "determinism/other")
+}

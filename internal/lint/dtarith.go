@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"react/internal/lint/analysis"
+)
+
+// DTArith guards the time-arithmetic invariant PR 3 established after the
+// `t += dt` drift bug regenerated all 28 goldens: simulation time is
+// derived from the integer tick index (t = float64(tick)*dt), never
+// accumulated in floating point, and float64 physics values are never
+// compared with ==/!= (a tolerance compare, or an explicit reasoned
+// suppression where exactness is the point).
+var DTArith = &analysis.Analyzer{
+	Name: "dtarith",
+	Doc: `flag floating-point time accumulation and exact float comparison
+
+t += dt accumulates rounding error against the tick grid (~3e-9 s per 4e5
+ticks in PR 3 — enough to deliver one extra trace sample and drift every
+record point). Derive time as float64(tick)*dt. Float equality is exact
+bit comparison: use math.Abs(a-b) <= tol, or suppress with a reason where
+exact identity is the invariant being checked.`,
+	Run: runDTArith,
+}
+
+func runDTArith(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	analysis.Inspect(pass.Files, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkTimeAccum(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			tx, ty := info.TypeOf(n.X), info.TypeOf(n.Y)
+			if tx == nil || ty == nil || !analysis.IsFloat(tx) || !analysis.IsFloat(ty) {
+				return true
+			}
+			if floatCompareExempt(info, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s compares float64 values bit-exactly; use a tolerance (math.Abs(a-b) <= tol), or suppress with a reason if exact identity is the invariant", types.ExprString(n))
+		}
+		return true
+	})
+	return nil
+}
+
+// checkTimeAccum flags `t += dt` and `t = t + dt` shapes: a float
+// time-like accumulator advanced by a timestep-like addend.
+func checkTimeAccum(pass *analysis.Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	lhs := n.Lhs[0]
+	var addend ast.Expr
+	switch n.Tok {
+	case token.ADD_ASSIGN:
+		addend = n.Rhs[0]
+	case token.ASSIGN:
+		// t = t + dt (either operand order).
+		bin, ok := n.Rhs[0].(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return
+		}
+		ls := types.ExprString(lhs)
+		switch {
+		case types.ExprString(bin.X) == ls:
+			addend = bin.Y
+		case types.ExprString(bin.Y) == ls:
+			addend = bin.X
+		default:
+			return
+		}
+	default:
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil || !analysis.IsFloat(t) {
+		return
+	}
+	if !timeLikeName(lastName(lhs)) || !mentionsTimestep(addend) {
+		return
+	}
+	pass.Reportf(n.Pos(), "%s accumulates simulation time in floating point and drifts off the tick grid (the PR 3 bug); derive it from the tick index: %s = float64(tick)*dt", types.ExprString(n.Lhs[0])+" "+n.Tok.String()+" "+types.ExprString(n.Rhs[0]), types.ExprString(n.Lhs[0]))
+}
+
+// lastName is the final identifier of an lvalue: x -> x, s.OnTime -> OnTime.
+func lastName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return lastName(x.X)
+	case *ast.IndexExpr:
+		return lastName(x.X)
+	case *ast.StarExpr:
+		return lastName(x.X)
+	}
+	return ""
+}
+
+// timeLikeName matches accumulators that represent a point or span on the
+// simulated clock.
+func timeLikeName(name string) bool {
+	l := strings.ToLower(name)
+	if l == "t" || l == "now" {
+		return true
+	}
+	return strings.Contains(l, "time") || strings.Contains(l, "clock") || strings.Contains(l, "elapsed")
+}
+
+// mentionsTimestep reports whether the addend references a dt-like value.
+func mentionsTimestep(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch x := n.(type) {
+		case *ast.Ident:
+			name = x.Name
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		default:
+			return true
+		}
+		l := strings.ToLower(name)
+		if l == "dt" || l == "timestep" || strings.HasSuffix(l, "dt") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// floatCompareExempt lists the float ==/!= shapes that are exact by
+// construction: a constant operand (sentinels like 0 are representable
+// exactly), x != x (the NaN test), and comparison against math.Inf/NaN.
+func floatCompareExempt(info *types.Info, n *ast.BinaryExpr) bool {
+	if isConstExpr(info, n.X) || isConstExpr(info, n.Y) {
+		return true
+	}
+	if types.ExprString(n.X) == types.ExprString(n.Y) {
+		return true // x != x is the canonical NaN check
+	}
+	return isInfOrNaNCall(info, n.X) || isInfOrNaNCall(info, n.Y)
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isInfOrNaNCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	return ok && analysis.IsPkgFunc(info, call, "math", "Inf", "NaN")
+}

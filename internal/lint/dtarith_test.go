@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/linttest"
+)
+
+// TestDTArith includes the PR 3 drift regression: the exact t += dt shape
+// that lagged the tick grid must be flagged, and the float64(tick)*dt
+// replacement must not be.
+func TestDTArith(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.DTArith}, "dtarith/drift")
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"react/internal/lint/analysis"
+)
+
+// FPComplete cross-checks the spec types against the canonicalization code
+// in fingerprint.go: every exported field of every declared target type
+// must be hashed (explicitly referenced in fingerprint.go, or a member of
+// a struct the canonical form encodes wholesale) or sit on an explicit
+// allowlist of non-physics exclusions. Adding a spec field without
+// deciding its cache identity is a build break, not a hand audit — a
+// missed field means two physically different runs share a content
+// address, which the cluster's disk tier turns into silent cross-node
+// cache poisoning.
+//
+// fingerprint.go declares its own contract with directives:
+//
+//	//lint:fpcomplete-target Spec TraceSpec ckpt.Config ...
+//	//lint:fpcomplete-allow Spec.Title catalogue metadata, not physics
+var FPComplete = &analysis.Analyzer{
+	Name: "fpcomplete",
+	Doc: `every spec field must be fingerprinted or explicitly excluded
+
+Checks the //lint:fpcomplete-target types of a package's fingerprint.go:
+a field is covered when fingerprint.go mentions it, when its struct is
+encoded wholesale into the canonical form, or when an
+//lint:fpcomplete-allow directive excludes it with a reason.`,
+	Run: runFPComplete,
+}
+
+const (
+	targetDirective = "//lint:fpcomplete-target"
+	allowDirective  = "//lint:fpcomplete-allow"
+)
+
+func runFPComplete(pass *analysis.Pass) error {
+	var fpFile *ast.File
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "fingerprint.go" {
+			fpFile = f
+			break
+		}
+	}
+	if fpFile == nil {
+		return nil
+	}
+
+	targets, allow := fpDirectives(pass, fpFile)
+	if len(targets) == 0 {
+		pass.Reportf(fpFile.Name.Pos(), "fingerprint.go declares no %s directive; list the spec types whose fields the canonical form must account for", targetDirective)
+		return nil
+	}
+
+	mentions := fpMentions(fpFile)
+	wholesale := fpWholesale(pass, fpFile)
+
+	for _, tg := range targets {
+		named := resolveTargetType(pass, tg.name)
+		if named == nil {
+			pass.Reportf(tg.pos, "%s %s: no struct type with that name is visible from this package", targetDirective, tg.name)
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(tg.pos, "%s %s: not a struct type", targetDirective, tg.name)
+			continue
+		}
+		local := named.Obj().Pkg() == pass.Pkg
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			jsonName := jsonTagName(st.Tag(i), f.Name())
+			if allow[named.Obj().Name()+"."+f.Name()] {
+				continue
+			}
+			if mentions[f.Name()] {
+				continue
+			}
+			if wholesale[named] && jsonName != "-" {
+				continue
+			}
+			pos := tg.pos
+			if local {
+				pos = f.Pos()
+			}
+			pass.Reportf(pos, "field %s.%s (json %q) is neither canonicalized in fingerprint.go nor allowlisted: two physically different specs would share a content address; hash it or add %s %s.%s <reason>",
+				named.Obj().Name(), f.Name(), jsonName, allowDirective, named.Obj().Name(), f.Name())
+		}
+	}
+	return nil
+}
+
+type fpTarget struct {
+	name string
+	pos  token.Pos
+}
+
+// fpDirectives parses the target and allow directives out of
+// fingerprint.go's comments.
+func fpDirectives(pass *analysis.Pass, f *ast.File) ([]fpTarget, map[string]bool) {
+	var targets []fpTarget
+	allow := map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			switch {
+			case strings.HasPrefix(c.Text, targetDirective):
+				for _, name := range strings.Fields(strings.TrimPrefix(c.Text, targetDirective)) {
+					targets = append(targets, fpTarget{name: name, pos: c.Pos()})
+				}
+			case strings.HasPrefix(c.Text, allowDirective):
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowDirective))
+				switch {
+				case len(fields) == 0 || !strings.Contains(fields[0], "."):
+					pass.Reportf(c.Pos(), "%s wants Type.Field followed by a reason", allowDirective)
+				case len(fields) < 2:
+					pass.Reportf(c.Pos(), "%s %s gives no reason: every exclusion must say why the field is not physics", allowDirective, fields[0])
+				default:
+					allow[fields[0]] = true
+				}
+			}
+		}
+	}
+	return targets, allow
+}
+
+// resolveTargetType resolves "Spec" in the package scope or "ckpt.Config"
+// through the package's direct imports (matched by package name, so
+// aliased imports resolve too — the types, not the spelling, decide).
+func resolveTargetType(pass *analysis.Pass, name string) *types.Named {
+	lookupIn := pass.Pkg.Scope()
+	typeName := name
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		pkgName, tn := name[:dot], name[dot+1:]
+		lookupIn = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				lookupIn = imp.Scope()
+				typeName = tn
+				break
+			}
+		}
+		if lookupIn == nil {
+			return nil
+		}
+	}
+	obj := lookupIn.Lookup(typeName)
+	if obj == nil {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// fpMentions collects every field-shaped name fingerprint.go touches:
+// selector names, composite-literal keys, and the fields of the canonical
+// structs it declares. A mentioned field has, at minimum, been looked at
+// by the canonicalization author.
+func fpMentions(f *ast.File) map[string]bool {
+	m := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			m[n.Sel.Name] = true
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				m[id.Name] = true
+			}
+		case *ast.StructType:
+			for _, fld := range n.Fields.List {
+				for _, name := range fld.Names {
+					m[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// fpWholesale computes the set of named struct types the canonical form
+// encodes in their entirety: the types of fields of structs declared in
+// fingerprint.go, transitively (json.Marshal recurses, so a new
+// JSON-visible field of a wholesale type is hashed automatically).
+func fpWholesale(pass *analysis.Pass, f *ast.File) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	var add func(t types.Type)
+	add = func(t types.Type) {
+		switch x := t.(type) {
+		case *types.Pointer:
+			add(x.Elem())
+			return
+		case *types.Slice:
+			add(x.Elem())
+			return
+		case *types.Array:
+			add(x.Elem())
+			return
+		case *types.Map:
+			add(x.Elem())
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok || out[named] {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		out[named] = true
+		for i := 0; i < st.NumFields(); i++ {
+			if jsonTagName(st.Tag(i), st.Field(i).Name()) != "-" {
+				add(st.Field(i).Type())
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+			return true
+		}
+		if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+			if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if jsonTagName(st.Tag(i), st.Field(i).Name()) != "-" {
+						add(st.Field(i).Type())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// jsonTagName returns the field's effective JSON key, or "-" when the
+// encoder skips it.
+func jsonTagName(tag, fieldName string) string {
+	t := reflect.StructTag(tag).Get("json")
+	if t == "" {
+		return fieldName
+	}
+	name, _, _ := strings.Cut(t, ",")
+	if name == "" {
+		return fieldName
+	}
+	return name
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/linttest"
+)
+
+// TestFPComplete proves the fingerprint contract both ways: a canonical
+// form covering every field passes, and a spec growing an unhashed
+// physics field (or an undigested json:"-" field) becomes a diagnostic —
+// which CI turns into a build break.
+func TestFPComplete(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.FPComplete},
+		"fpcomplete/good", "fpcomplete/bad", "fpcomplete/nodirective")
+}

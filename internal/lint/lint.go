@@ -1,0 +1,190 @@
+// Package lint is reactlint: a suite of domain-specific analyzers that
+// turn this repo's correctness invariants — bit-identical determinism,
+// tick-index time arithmetic, fingerprint completeness, lock hygiene —
+// into build breaks instead of test-by-test vigilance. cmd/reactlint is
+// the multichecker binary; DESIGN.md ("Invariants and enforcement")
+// documents which analyzer guards which invariant family and the
+// suppression policy.
+//
+// A finding is silenced only by an explicit, reasoned directive on the
+// flagged line or the line above it:
+//
+//	//lint:reactlint-ignore <rule> <reason>
+//
+// A directive with a missing or unknown rule, or no reason, is itself a
+// diagnostic — suppressions must say what they suppress and why.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"react/internal/lint/analysis"
+	"react/internal/lint/load"
+)
+
+// Analyzers returns the full reactlint suite in reporting order: the four
+// domain analyzers plus the general-purpose nilness and shadow checks
+// (stdlib-only ports of the stock x/tools passes, which the offline build
+// cannot vendor).
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		DTArith,
+		FPComplete,
+		LockHygiene,
+		Nilness,
+		Shadow,
+	}
+}
+
+// ByName resolves a comma-separated rule list against the suite.
+func ByName(rules string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	var out []*analysis.Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		found := false
+		for _, a := range all {
+			if a.Name == r {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", r, strings.Join(ruleNames(), ", "))
+		}
+	}
+	return out, nil
+}
+
+func ruleNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Finding is one diagnostic after suppression filtering.
+type Finding struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Rule)
+}
+
+// IgnoreDirective is the suppression comment prefix.
+const IgnoreDirective = "//lint:reactlint-ignore"
+
+// suppression is one parsed ignore directive.
+type suppression struct {
+	rule string
+	line int // the directive's own line; it covers line and line+1
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// surviving findings sorted by position. Malformed suppression directives
+// are reported as findings of the pseudo-rule "reactlint-ignore".
+func RunPackage(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			PkgPath:   pkg.PkgPath,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			raw = append(raw, Finding{Rule: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sups, bad := collectSuppressions(fset, pkg)
+	var out []Finding
+	for _, f := range raw {
+		if !suppressed(sups[f.Pos.Filename], f) {
+			out = append(out, f)
+		}
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// collectSuppressions scans every comment for ignore directives. A
+// well-formed directive names a known rule and gives a reason; anything
+// else is reported rather than silently doing nothing.
+func collectSuppressions(fset *token.FileSet, pkg *load.Package) (map[string][]suppression, []Finding) {
+	sups := map[string][]suppression{}
+	var bad []Finding
+	known := map[string]bool{}
+	for _, n := range ruleNames() {
+		known[n] = true
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{Rule: "reactlint-ignore", Pos: pos,
+						Message: "suppression names no rule: want //lint:reactlint-ignore <rule> <reason>"})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{Rule: "reactlint-ignore", Pos: pos,
+						Message: fmt.Sprintf("suppression names unknown rule %q (have %s)", fields[0], strings.Join(ruleNames(), ", "))})
+				case len(fields) < 2:
+					bad = append(bad, Finding{Rule: "reactlint-ignore", Pos: pos,
+						Message: fmt.Sprintf("suppression of %q gives no reason: every ignore must say why", fields[0])})
+				default:
+					sups[pos.Filename] = append(sups[pos.Filename], suppression{rule: fields[0], line: pos.Line})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// suppressed reports whether a directive covers the finding: same rule, on
+// the finding's line or the line above it.
+func suppressed(sups []suppression, f Finding) bool {
+	for _, s := range sups {
+		if s.rule == f.Rule && (s.line == f.Pos.Line || s.line == f.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

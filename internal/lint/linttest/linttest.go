@@ -1,0 +1,104 @@
+// Package linttest runs reactlint analyzers over fixture packages the way
+// golang.org/x/tools/go/analysis/analysistest does (which the offline
+// build cannot vendor): fixture sources under testdata/src/<pkg> annotate
+// the lines where diagnostics are expected with
+//
+//	code()  // want "regexp" "second regexp"
+//
+// and Run fails the test on any missed, surplus, or mismatched finding.
+// Suppression directives are honored before matching, so fixtures assert
+// both that rules fire and that reasoned ignores silence them.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/load"
+)
+
+// wantRx extracts the quoted expectation patterns from a // want comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkgdir> for each pkgdir, applies the analyzers
+// (with suppression filtering), and matches findings against the // want
+// annotations.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, pkgdirs ...string) {
+	t.Helper()
+	loader := load.New()
+	for _, pkgdir := range pkgdirs {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgdir))
+		pkg, err := loader.LoadDir(dir, pkgdir, ".")
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgdir, err)
+		}
+		findings, err := lint.RunPackage(loader.Fset, pkg, analyzers)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkgdir, err)
+		}
+		checkExpectations(t, loader.Fset, pkg, findings)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations compares findings with the fixture's want comments,
+// line by line.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *load.Package, findings []lint.Finding) {
+	t.Helper()
+	wants := map[string]map[int][]*expectation{} // file -> line -> patterns
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = map[int][]*expectation{}
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		exps := wants[f.Pos.Filename][f.Pos.Line]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(f.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s: missing expected finding matching %q", fmt.Sprintf("%s:%d", file, line), e.rx)
+				}
+			}
+		}
+	}
+}

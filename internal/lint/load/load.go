@@ -1,0 +1,235 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the reactlint analyzers — a miniature of
+// golang.org/x/tools/go/packages built from the standard library only.
+//
+// Package metadata and compiled export data come from one
+// `go list -export -deps -json` invocation (offline and build-cached: the
+// go tool reuses its build cache, so repeat reactlint runs re-typecheck
+// only the analyzed sources, never the dependency graph). The packages
+// matching the patterns are then re-typechecked from source — analyzers
+// need syntax trees and a fully populated types.Info — while every
+// dependency, standard library included, is imported from its export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path (or, for LoadDir fixture packages, the
+	// caller-chosen path).
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader loads packages against one shared FileSet and export-data cache.
+// Not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+	// exports maps import path -> compiled export data file.
+	exports map[string]string
+	imp     types.Importer
+}
+
+// New returns an empty Loader.
+func New() *Loader {
+	l := &Loader{Fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// lookup feeds the gc importer from the export-data map go list built.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	p, ok := l.exports[path]
+	if !ok || p == "" {
+		return nil, fmt.Errorf("no export data for %q (not in the go list dependency graph)", path)
+	}
+	return os.Open(p)
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir and records every
+// package's export data; it returns the entries in listing order.
+func (l *Loader) goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Standard,DepOnly,Export,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off keeps the file lists pure Go, so everything the analyzers
+	// parse is also everything the compiler saw.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Load resolves the patterns in dir (the module root, typically ".") and
+// returns the matched packages parsed and type-checked from source, in
+// deterministic import-path order. Dependencies are never re-typechecked —
+// they import from export data.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := l.goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		p, err := l.check(e.ImportPath, e.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadDir parses every non-test .go file in dir as a single package named
+// pkgPath and type-checks it; imports resolve to export data listed from
+// listDir (""=cwd, which must lie inside a module for the go tool to run).
+// This is the fixture path: linttest points it at testdata/src/<pkg>.
+func (l *Loader) LoadDir(dir, pkgPath, listDir string) (*Package, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	// Pre-resolve the fixture's imports to export data.
+	asts, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, f := range asts {
+		for _, im := range f.Imports {
+			path, err := strconv.Unquote(im.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			if _, ok := l.exports[path]; !ok {
+				missing = append(missing, path)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		if _, err := l.goList(listDir, missing); err != nil {
+			return nil, err
+		}
+	}
+	return l.checkParsed(pkgPath, dir, asts)
+}
+
+// parse parses source files with comments preserved (the suppression
+// directives and fixture expectations live in comments).
+func (l *Loader) parse(files []string) ([]*ast.File, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		a, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, a)
+	}
+	return asts, nil
+}
+
+func (l *Loader) check(pkgPath, dir string, files []string) (*Package, error) {
+	asts, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkParsed(pkgPath, dir, asts)
+}
+
+func (l *Loader) checkParsed(pkgPath, dir string, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, l.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Files: asts, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"react/internal/lint/analysis"
+)
+
+// lockScopeSegments names the packages under the shared-state contract:
+// the daemon's caches/views and the disk store.
+var lockScopeSegments = []string{"service", "store"}
+
+// LockHygiene enforces the service/store locking conventions: fields
+// declared below a struct's sync.Mutex are guarded by it (the Server and
+// Store structs document exactly this layout), so writes to them must
+// happen with the mutex held, in a *Locked helper, or on a
+// still-function-local value; and request handlers must not detach work
+// onto context.Background() — a handler's work belongs to r.Context() so
+// a disconnected client actually cancels it.
+var LockHygiene = &analysis.Analyzer{
+	Name: "lockhygiene",
+	Doc: `guarded-field writes under the owning mutex; no bare contexts in handlers
+
+In service/store packages: a write to a field declared below a sync.Mutex
+must follow a <recv>.<mu>.Lock() call in the same function, live in a
+function suffixed "Locked" (caller holds the lock), or target a value
+still local to the constructor. Handlers (any function taking
+http.ResponseWriter or *http.Request) must not call
+context.Background/TODO.`,
+	Run: runLockHygiene,
+}
+
+func runLockHygiene(pass *analysis.Pass) error {
+	if !pathInScope(pass.PkgPath, lockScopeSegments) {
+		return nil
+	}
+	guards := collectGuardedFields(pass)
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedWrites(pass, fd, guards)
+			checkHandlerContexts(pass, fd, reported)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps each field declared below its struct's first
+// sync.Mutex/RWMutex to that mutex's name.
+func collectGuardedFields(pass *analysis.Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mutexName := ""
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if mutexName == "" {
+				if isSyncMutex(f.Type()) {
+					mutexName = f.Name()
+				}
+				continue
+			}
+			if !isSyncMutex(f.Type()) {
+				guards[f] = mutexName
+			}
+		}
+	}
+	return guards
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// checkGuardedWrites flags writes to guarded fields outside a locked
+// context.
+func checkGuardedWrites(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // caller-holds-lock convention
+	}
+	info := pass.TypesInfo
+	var writes []ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			writes = append(writes, n.Lhs...)
+		case *ast.IncDecStmt:
+			writes = append(writes, n.X)
+		}
+		return true
+	})
+	for _, w := range writes {
+		sel, fvar := guardedSelector(info, w, guards)
+		if sel == nil {
+			continue
+		}
+		// A value still local to this function hasn't escaped to other
+		// goroutines yet — the constructor pattern.
+		if root := analysis.RootIdent(sel.X); root != nil {
+			if obj := analysis.ObjectOf(info, root); obj != nil &&
+				obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End() {
+				continue
+			}
+		}
+		mu := guards[fvar]
+		if lockHeldBefore(info, fd.Body, sel.X, mu, w.Pos()) {
+			continue
+		}
+		pass.Reportf(w.Pos(), "write to %s outside %s.%s.Lock(): the field is declared below the mutex and is guarded by it; lock first, use an atomic, or suffix the function name with Locked",
+			types.ExprString(w), types.ExprString(sel.X), mu)
+	}
+}
+
+// guardedSelector unwraps a write target (s.f, s.f[k], *s.f, ...) to the
+// field selection and returns it when the field is guarded.
+func guardedSelector(info *types.Info, e ast.Expr, guards map[*types.Var]string) (*ast.SelectorExpr, *types.Var) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			selInfo, ok := info.Selections[x]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return nil, nil
+			}
+			fvar, ok := selInfo.Obj().(*types.Var)
+			if !ok {
+				return nil, nil
+			}
+			if _, guarded := guards[fvar]; guarded {
+				return x, fvar
+			}
+			// s.inner.field: the inner selection may itself be guarded.
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// lockHeldBefore reports whether the function body calls
+// <recv>.<mu>.Lock() (or the promoted <recv>.Lock()) before pos. This is
+// a hygiene heuristic, not a proof: an Unlock between the calls is not
+// tracked — suppress with a reason when the flow is genuinely safe.
+func lockHeldBefore(info *types.Info, body *ast.BlockStmt, recv ast.Expr, mu string, pos token.Pos) bool {
+	recvStr := types.ExprString(recv)
+	want := recvStr + "." + mu + ".Lock"
+	wantPromoted := recvStr + ".Lock"
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || held {
+			return !held
+		}
+		fun := types.ExprString(call.Fun)
+		if fun == want || fun == wantPromoted {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// checkHandlerContexts flags context.Background/TODO inside request
+// handlers (functions or literals with http.ResponseWriter / *http.Request
+// parameters).
+func checkHandlerContexts(pass *analysis.Pass, fd *ast.FuncDecl, reported map[token.Pos]bool) {
+	info := pass.TypesInfo
+	var visit func(ft *ast.FuncType, body *ast.BlockStmt)
+	visit = func(ft *ast.FuncType, body *ast.BlockStmt) {
+		if !isHandlerSignature(info, ft) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if analysis.IsPkgFunc(info, call, "context", "Background", "TODO") && !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(), "request handler detaches onto %s: work started for a request must derive from r.Context() so a disconnected client cancels it (use the server's lifecycle context for intentionally detached work)",
+					types.ExprString(call.Fun))
+			}
+			return true
+		})
+	}
+	visit(fd.Type, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			visit(fl.Type, fl.Body)
+		}
+		return true
+	})
+}
+
+func isHandlerSignature(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		t := info.TypeOf(p.Type)
+		if t == nil {
+			continue
+		}
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "net/http" {
+			continue
+		}
+		if n := named.Obj().Name(); n == "Request" || n == "ResponseWriter" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/linttest"
+)
+
+func TestLockHygiene(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.LockHygiene},
+		"lockhygiene/service")
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"react/internal/lint/analysis"
+)
+
+// Nilness is a syntactic port of the stock x/tools nilness analyzer (the
+// offline build cannot vendor the SSA-based original): inside a branch
+// whose condition proves an expression nil, a dereference of that same
+// expression is a guaranteed panic.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: `flag dereferences of provably-nil values
+
+if x == nil { ... x.f ... } (and the x != nil else-branch) panics at the
+use; the condition and the dereference cannot both be intended.`,
+	Run: runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	analysis.Inspect(pass.Files, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		expr := nilComparedExpr(bin)
+		if expr == nil {
+			return true
+		}
+		var branch *ast.BlockStmt
+		if bin.Op == token.EQL {
+			branch = ifs.Body
+		} else {
+			branch, _ = ifs.Else.(*ast.BlockStmt)
+		}
+		if branch == nil {
+			return true
+		}
+		checkNilBranch(pass, info, expr, branch)
+		return true
+	})
+	return nil
+}
+
+// nilComparedExpr returns the non-nil side of an x ==/!= nil comparison,
+// when the other side is the predeclared nil.
+func nilComparedExpr(bin *ast.BinaryExpr) ast.Expr {
+	if isNilIdent(bin.Y) {
+		return bin.X
+	}
+	if isNilIdent(bin.X) {
+		return bin.Y
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checkNilBranch reports the first dereference of expr inside the branch
+// where it is known nil, stopping once expr may have been reassigned.
+func checkNilBranch(pass *analysis.Pass, info *types.Info, expr ast.Expr, branch *ast.BlockStmt) {
+	exprStr := types.ExprString(expr)
+	t := info.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	reassigned := token.NoPos
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if types.ExprString(lhs) == exprStr && (reassigned == token.NoPos || as.Pos() < reassigned) {
+					reassigned = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	done := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if done || (reassigned != token.NoPos && n != nil && n.Pos() >= reassigned) {
+			return false
+		}
+		if pos, kind := derefOf(info, n, expr, exprStr, t); kind != "" {
+			pass.Reportf(pos, "%s is nil on this path (see the condition above) and this %s panics", exprStr, kind)
+			done = true
+			return false
+		}
+		return true
+	})
+}
+
+// derefOf reports whether n dereferences expr (matched textually) in a way
+// that panics on nil for expr's type.
+func derefOf(info *types.Info, n ast.Node, expr ast.Expr, exprStr string, t types.Type) (token.Pos, string) {
+	switch x := n.(type) {
+	case *ast.StarExpr:
+		if isPointer(t) && types.ExprString(x.X) == exprStr {
+			return x.Pos(), "dereference"
+		}
+	case *ast.SelectorExpr:
+		if types.ExprString(x.X) != exprStr {
+			return token.NoPos, ""
+		}
+		sel, ok := info.Selections[x]
+		if !ok {
+			return token.NoPos, ""
+		}
+		switch {
+		case isPointer(t) && sel.Kind() == types.FieldVal:
+			return x.Pos(), "field access"
+		case isInterface(t) && sel.Kind() == types.MethodVal:
+			return x.Pos(), "method call on a nil interface"
+		}
+	case *ast.IndexExpr:
+		if types.ExprString(x.X) == exprStr {
+			if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+				return x.Pos(), "index of a nil slice"
+			}
+		}
+	case *ast.CallExpr:
+		if _, isSig := t.Underlying().(*types.Signature); isSig && types.ExprString(x.Fun) == exprStr {
+			return x.Pos(), "call of a nil function"
+		}
+	}
+	return token.NoPos, ""
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

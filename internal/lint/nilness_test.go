@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/linttest"
+)
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, []*analysis.Analyzer{lint.Nilness}, "nilness/fixture")
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"react/internal/lint/analysis"
+)
+
+// Shadow is a stdlib-only port of the stock x/tools shadow analyzer (the
+// offline build cannot vendor the original), with its noise heuristics: a
+// declaration only counts as a harmful shadow when the outer variable has
+// the identical type AND is used again after the inner scope closes — the
+// case where a reader (or a later edit) plausibly confuses the two.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: `flag shadowed variables that are used after the shadowing scope
+
+An inner x := ... hiding an outer x of the same type is reported when the
+outer x is read after the inner scope ends — the pattern where an
+assignment intended for the outer variable silently lands on the inner
+one.`,
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Scopes that don't count as "enclosing function scope": package and
+	// file scopes (shadowing a global is idiomatic Go, vet skips it too).
+	outerExcluded := map[*types.Scope]bool{
+		types.Universe:   true,
+		pass.Pkg.Scope(): true,
+	}
+	for _, f := range pass.Files {
+		if s, ok := info.Scopes[f]; ok {
+			outerExcluded[s] = true
+		}
+	}
+
+	// Function-signature scopes hold parameters, results, and receivers;
+	// declaring a closure parameter over an outer name is idiomatic and the
+	// stock analyzer skips it too (it only inspects := and var).
+	paramScopes := map[*types.Scope]bool{}
+	for node, s := range info.Scopes {
+		if _, ok := node.(*ast.FuncType); ok {
+			paramScopes[s] = true
+		}
+	}
+
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || outerExcluded[inner] || paramScopes[inner] || inner.Parent() == nil {
+			continue
+		}
+		outerScope, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+		if outerObj == nil || outerObj == obj || outerExcluded[outerScope] {
+			continue
+		}
+		outerVar, ok := outerObj.(*types.Var)
+		if !ok || outerVar.IsField() || !types.Identical(v.Type(), outerVar.Type()) {
+			continue
+		}
+		if usedAfter(info, outerVar, inner, outerScope) {
+			pass.Reportf(id.Pos(), "declaration of %q shadows a %s declared at %s which is used again after this scope ends",
+				id.Name, v.Type(), pass.Fset.Position(outerVar.Pos()))
+		}
+	}
+	return nil
+}
+
+// usedAfter reports whether outerVar is referenced after the inner scope
+// ends but still within its own scope.
+func usedAfter(info *types.Info, outerVar *types.Var, inner, outer *types.Scope) bool {
+	for useID, useObj := range info.Uses {
+		if useObj == outerVar && useID.Pos() > inner.End() && useID.Pos() < outer.End() {
+			return true
+		}
+	}
+	return false
+}

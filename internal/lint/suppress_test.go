@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"react/internal/lint"
+	"react/internal/lint/analysis"
+	"react/internal/lint/load"
+)
+
+// TestSuppressionDirectives pins the directive hygiene rules on the
+// suppress/sim fixture: a well-formed //lint:reactlint-ignore silences
+// its finding; a directive naming an unknown rule or giving no reason is
+// itself a finding AND leaves the original diagnostic standing.
+func TestSuppressionDirectives(t *testing.T) {
+	loader := load.New()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppress", "sim"), "suppress/sim", ".")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := lint.RunPackage(loader.Fset, pkg, []*analysis.Analyzer{lint.Determinism})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type want struct {
+		rule    string
+		funcDoc string // which fixture function the finding belongs to
+	}
+	wants := []want{
+		{"reactlint-ignore", "Unknown"},    // unknown rule in the directive
+		{"determinism", "Unknown"},         // ...so time.Now stays flagged
+		{"reactlint-ignore", "Reasonless"}, // reason is mandatory
+		{"determinism", "Reasonless"},      // ...so time.Now stays flagged
+	}
+	if len(findings) != len(wants) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want %d (a valid suppression must silence Covered; malformed ones must not)", len(findings), len(wants))
+	}
+	rules := map[string]int{}
+	for _, f := range findings {
+		rules[f.Rule]++
+	}
+	if rules["reactlint-ignore"] != 2 || rules["determinism"] != 2 {
+		t.Fatalf("rule mix %v, want 2 reactlint-ignore + 2 determinism", rules)
+	}
+}

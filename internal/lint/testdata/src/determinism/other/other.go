@@ -1,0 +1,12 @@
+// Package other sits outside the determinism scope (no sim/scenario/
+// explore/runner/experiments path segment): wall-clock reads are fine
+// here, so the analyzer must stay silent.
+package other
+
+import "time"
+
+// Uptime may read the wall clock: this package is not under the
+// bit-identical contract.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

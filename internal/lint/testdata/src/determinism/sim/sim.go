@@ -1,0 +1,78 @@
+// Package sim is a determinism fixture: its import path ends in /sim, so
+// it sits inside the bit-identical determinism contract.
+package sim
+
+import (
+	"encoding/json"
+	"math/rand" // want "randomness in simulation packages"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want "reads the wall clock"
+}
+
+// Elapsed uses the Since helper.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "reads the wall clock"
+}
+
+// Roll uses the forbidden global generator.
+func Roll() float64 {
+	return rand.Float64()
+}
+
+// Keys appends under map iteration without a sort: element order follows
+// the map seed.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "order nondeterministic"
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates floats in map order: FP addition is not associative.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "order-dependent"
+	}
+	return total
+}
+
+// PerKey accumulates into an entry addressed by the range key: per-key
+// work is order-independent.
+func PerKey(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// Digest serializes inside map iteration.
+func Digest(m map[string]int) []byte {
+	var blob []byte
+	for k := range m {
+		b, _ := json.Marshal(k)   // want "serializes in nondeterministic order"
+		blob = append(blob, b...) // want "order nondeterministic"
+	}
+	return blob
+}
+
+// Suppressed shows a reasoned directive silencing a finding.
+func Suppressed() int64 {
+	//lint:reactlint-ignore determinism fixture demonstrates a reasoned suppression
+	return time.Now().Unix()
+}

@@ -1,0 +1,76 @@
+// Package drift is the dtarith fixture. Drift reproduces the exact shape
+// of the PR 3 bug: the simulated clock accumulated by repeated dt
+// addition lagged the tick grid by ~3e-9 s over 4e5 ticks — enough to
+// deliver one extra trace sample and shift every record point.
+package drift
+
+import "math"
+
+// Drift accumulates simulation time in floating point (the PR 3 bug).
+func Drift(ticks int, dt float64) float64 {
+	t := 0.0
+	for i := 0; i < ticks; i++ {
+		t += dt // want "accumulates simulation time"
+	}
+	return t
+}
+
+// DriftSpelledOut is the same bug written as t = t + dt.
+func DriftSpelledOut(ticks int, dt float64) float64 {
+	t := 0.0
+	for i := 0; i < ticks; i++ {
+		t = t + dt // want "accumulates simulation time"
+	}
+	return t
+}
+
+// OnGrid is the sanctioned form: time derived from the integer tick index
+// stays exactly on the grid.
+func OnGrid(ticks int, dt float64) float64 {
+	var t float64
+	for tick := 0; tick < ticks; tick++ {
+		t = float64(tick) * dt
+	}
+	return t
+}
+
+// Energy accumulates a non-time quantity: integrating a signal is fine.
+func Energy(p, dt float64, n int) float64 {
+	var e float64
+	for i := 0; i < n; i++ {
+		e += p * dt
+	}
+	return e
+}
+
+// Eq compares physics values bit-exactly.
+func Eq(a, b float64) bool {
+	return a == b // want "bit-exactly"
+}
+
+// Tol is the sanctioned tolerance compare.
+func Tol(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// IsNaN uses the canonical x != x test: exempt.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Sentinel compares against a constant: sentinels are exactly
+// representable, so the compare is exact by construction.
+func Sentinel(x float64) bool {
+	return x == 0
+}
+
+// Unbounded compares against math.Inf: exempt.
+func Unbounded(x float64) bool {
+	return x == math.Inf(1)
+}
+
+// Suppressed shows a reasoned directive silencing an exact compare.
+func Suppressed(a, b float64) bool {
+	//lint:reactlint-ignore dtarith exact identity is the invariant this fixture asserts
+	return a == b
+}

@@ -1,0 +1,26 @@
+package bad
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+//lint:fpcomplete-target Spec DeviceSpec
+//lint:fpcomplete-allow Spec.Name presentation metadata, not physics
+
+// canonical misses Spec.Leak entirely, and DeviceSpec.Cal is skipped by
+// the wholesale encoding (json:"-").
+type canonical struct {
+	Mean   float64    `json:"mean"`
+	Device DeviceSpec `json:"device"`
+}
+
+// Fingerprint hashes the (incomplete) canonical encoding.
+func Fingerprint(s Spec) (string, error) {
+	data, err := json.Marshal(canonical{Mean: s.Mean, Device: s.Device})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}

@@ -1,0 +1,24 @@
+// Package bad adds physics fields the canonical form never hashes: the
+// exact mistake fpcomplete turns into a build break — two physically
+// different specs would share a content address.
+package bad
+
+// Spec grew a Leak knob nobody taught fingerprint.go about.
+type Spec struct {
+	Name   string     `json:"name"`
+	Mean   float64    `json:"mean"`
+	Leak   float64    `json:"leak"` // want "neither canonicalized"
+	Device DeviceSpec `json:"device"`
+}
+
+// DeviceSpec carries a Go-only field that is neither digested nor
+// allowlisted: wholesale JSON encoding skips json:"-", so it is unhashed.
+type DeviceSpec struct {
+	VOn float64  `json:"v_on"`
+	Cal *Profile `json:"-"` // want "neither canonicalized"
+}
+
+// Profile is runtime state resolved from the spec.
+type Profile struct {
+	Pts []float64
+}

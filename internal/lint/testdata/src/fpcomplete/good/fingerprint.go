@@ -1,0 +1,31 @@
+package good
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+//lint:fpcomplete-target Spec DeviceSpec
+//lint:fpcomplete-allow Spec.Name presentation metadata, not physics
+
+// canonical is the hashed form: Device rides along wholesale, and the
+// Go-only profile pointer is replaced by a digest of its content.
+type canonical struct {
+	Mean   float64    `json:"mean"`
+	Device DeviceSpec `json:"device"`
+	Prof   string     `json:"prof,omitempty"`
+}
+
+// Fingerprint hashes the canonical encoding of the spec.
+func Fingerprint(s Spec) (string, error) {
+	c := canonical{Mean: s.Mean, Device: s.Device}
+	if s.Device.Prof != nil {
+		c.Prof = fmt.Sprintf("%v", s.Device.Prof.Pts)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}

@@ -1,0 +1,22 @@
+// Package good models a spec whose canonical form accounts for every
+// JSON-visible field: fpcomplete must stay silent.
+package good
+
+// Spec is the catalogue entry: Name is presentation, the rest is physics.
+type Spec struct {
+	Name   string     `json:"name"`
+	Mean   float64    `json:"mean"`
+	Device DeviceSpec `json:"device"`
+}
+
+// DeviceSpec is encoded wholesale by the canonical form; Prof is Go-only
+// and replaced by a content digest.
+type DeviceSpec struct {
+	VOn  float64  `json:"v_on"`
+	Prof *Profile `json:"-"`
+}
+
+// Profile is runtime state resolved from the spec.
+type Profile struct {
+	Pts []float64
+}

@@ -1,0 +1,16 @@
+// Package nodirective has a fingerprint.go that never declares its
+// contract: fpcomplete demands the target directive.
+package nodirective // want "declares no"
+
+import "encoding/json"
+
+// canonical hashes something, but nothing says which spec types it must
+// account for.
+type canonical struct {
+	Mean float64 `json:"mean"`
+}
+
+// Encode returns the canonical encoding.
+func Encode(mean float64) ([]byte, error) {
+	return json.Marshal(canonical{Mean: mean})
+}

@@ -1,0 +1,66 @@
+// Package service exercises the mutex-below-fields layout contract and
+// the no-bare-contexts-in-handlers rule. Its import path ends in
+// /service, putting it in lockhygiene's scope.
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Server follows the repo layout: fields declared below mu are guarded by
+// it; atomics live above.
+type Server struct {
+	hits int64 // atomic, above the mutex: unguarded by convention
+
+	mu    sync.Mutex
+	count int
+	views map[string]int
+}
+
+// Bump writes a guarded field without the lock.
+func (s *Server) Bump() {
+	s.count++ // want "outside"
+}
+
+// Put writes through a guarded map without the lock.
+func (s *Server) Put(k string) {
+	s.views[k] = 1 // want "outside"
+}
+
+// BumpSafe locks first: fine.
+func (s *Server) BumpSafe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+// bumpLocked documents that its caller holds s.mu: fine.
+func (s *Server) bumpLocked() {
+	s.count++
+}
+
+// New mutates a value still local to the constructor: fine, nothing has
+// escaped to another goroutine yet.
+func New() *Server {
+	s := &Server{views: map[string]int{}}
+	s.count = 1
+	return s
+}
+
+// handle must not detach request work onto a bare context; the guarded
+// write below is under the lock and fine.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "detaches"
+	_ = ctx
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+// reset is allowed by an explicit reasoned suppression.
+func (s *Server) reset() {
+	//lint:reactlint-ignore lockhygiene fixture demonstrates a reasoned suppression
+	s.count = 0
+}

@@ -1,0 +1,58 @@
+// Package fixture exercises the syntactic provably-nil checks: a branch
+// whose condition proves a value nil must not dereference it.
+package fixture
+
+// T is a small struct to dereference.
+type T struct {
+	F int
+}
+
+// Deref dereferences inside the branch that proved p nil.
+func Deref(p *T) int {
+	if p == nil {
+		return p.F // want "nil on this path"
+	}
+	return p.F
+}
+
+// ElseDeref has p provably nil in the else branch of the != guard.
+func ElseDeref(p *T) int {
+	if p != nil {
+		return p.F
+	} else {
+		return p.F // want "nil on this path"
+	}
+}
+
+// Reassigned is fine: p gains a value before the use.
+func Reassigned(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.F
+	}
+	return p.F
+}
+
+// NilCall calls a provably nil function value.
+func NilCall(f func() int) int {
+	if f == nil {
+		return f() // want "nil on this path"
+	}
+	return f()
+}
+
+// Head indexes a provably nil slice.
+func Head(xs []float64) float64 {
+	if xs == nil {
+		return xs[0] // want "nil on this path"
+	}
+	return xs[0]
+}
+
+// Msg calls a method through a provably nil interface.
+func Msg(err error) string {
+	if err == nil {
+		return err.Error() // want "nil on this path"
+	}
+	return err.Error()
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the used-after shadow heuristic: an inner
+// redeclaration only counts when the outer variable of identical type is
+// read again after the inner scope closes.
+package fixture
+
+import "errors"
+
+func helper() (int, error) {
+	return 1, nil
+}
+
+// Shadowed is the classic lost-error shape: the inner err hides the outer
+// one, which the final return still reads.
+func Shadowed(cond bool) error {
+	var err error
+	if cond {
+		v, err := helper() // want "shadows"
+		if err != nil {
+			return err
+		}
+		_ = v
+	}
+	return err
+}
+
+// Scoped is fine: the outer err is never read after the inner block.
+func Scoped(cond bool) error {
+	err := errors.New("outer")
+	if err != nil {
+		return err
+	}
+	if cond {
+		_, err := helper()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Param is fine: closure parameters are intentional shadows.
+func Param(xs []int) int {
+	n := 0
+	add := func(n int) int { return n + 1 }
+	for _, x := range xs {
+		n += add(x)
+	}
+	return n
+}
+
+// DifferentType is fine: the heuristic requires identical types.
+func DifferentType(cond bool) error {
+	var err error
+	if cond {
+		err := "not an error"
+		_ = err
+	}
+	return err
+}

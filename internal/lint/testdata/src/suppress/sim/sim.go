@@ -1,0 +1,27 @@
+// Package sim seeds suppression directives for the directive-hygiene
+// test, which asserts the resulting findings directly: a want comment
+// cannot share a line with the directive it checks (a line has one
+// comment), so this fixture is matched by TestSuppressionDirectives
+// rather than by want annotations.
+package sim
+
+import "time"
+
+// Covered is silenced by a well-formed directive.
+func Covered() int64 {
+	//lint:reactlint-ignore determinism fixture exercises a valid suppression
+	return time.Now().Unix()
+}
+
+// Unknown names a rule that does not exist: the directive is a finding
+// and the wall-clock read stays flagged.
+func Unknown() int64 {
+	//lint:reactlint-ignore nosuchrule this rule does not exist
+	return time.Now().Unix()
+}
+
+// Reasonless omits the mandatory reason: same deal.
+func Reasonless() int64 {
+	//lint:reactlint-ignore determinism
+	return time.Now().Unix()
+}

@@ -6,6 +6,7 @@ import (
 	"react/internal/harvest"
 	"react/internal/mcu"
 	"react/internal/sim"
+	"react/internal/trace"
 )
 
 // BatchItem names one cell — buffer index Buffer of Spec — for lockstep
@@ -65,6 +66,7 @@ func RunBatch(items []BatchItem, opt RunOptions, st *sim.Stats) ([]sim.Result, e
 		if sd := opt.seed(s); sd != seed {
 			return nil, fmt.Errorf("scenario %s: batch mixes seeds %d and %d", s.Name, seed, sd)
 		}
+		//lint:reactlint-ignore dtarith the batch key is exact identity: nearly-equal timesteps must not share a lockstep pass
 		if d := opt.dt(s); d != dt {
 			return nil, fmt.Errorf("scenario %s: batch mixes timesteps %g and %g", s.Name, dt, d)
 		}
@@ -78,38 +80,9 @@ func RunBatch(items []BatchItem, opt RunOptions, st *sim.Stats) ([]sim.Result, e
 		return nil, fmt.Errorf("scenario %s: %w", s0.Name, err)
 	}
 	cfgs := make([]sim.Config, len(items))
-	for i, it := range items {
-		s := it.Spec
-		fail := func(err error) error {
-			return fmt.Errorf("scenario %s: %s: %w", s.Name, s.Buffers[it.Buffer].DisplayName(), err)
-		}
-		conv, err := harvest.ByName(s.Converter)
-		if err != nil {
-			return nil, fail(err)
-		}
-		prof, err := s.Device.Build()
-		if err != nil {
-			return nil, fail(err)
-		}
-		wl, err := s.Workload.Build(tr, seed, prof)
-		if err != nil {
-			return nil, fail(err)
-		}
-		buf, err := s.Buffers[it.Buffer].Build()
-		if err != nil {
-			return nil, fail(err)
-		}
-		dev := mcu.NewDevice(prof, wl)
-		if dev.Scheme, err = s.Device.BuildScheme(); err != nil {
-			return nil, fail(err)
-		}
-		cfgs[i] = sim.Config{
-			DT:       dt,
-			Frontend: harvest.NewFrontend(tr, conv),
-			Buffer:   buf,
-			Device:   dev,
-			TailCap:  s.TailCap,
-			RecordDT: opt.RecordDT,
+	for i := range items {
+		if cfgs[i], err = buildCellConfig(items[i], tr, seed, dt, opt.RecordDT); err != nil {
+			return nil, err
 		}
 	}
 	res, err := sim.RunBatch(cfgs, st)
@@ -117,4 +90,42 @@ func RunBatch(items []BatchItem, opt RunOptions, st *sim.Stats) ([]sim.Result, e
 		return nil, fmt.Errorf("scenario %s: %w", s0.Name, err)
 	}
 	return res, nil
+}
+
+// buildCellConfig materializes one cell of a batch — converter, device
+// profile, workload, buffer, and checkpoint scheme — wired to the shared
+// trace. Errors carry the scenario/buffer context.
+func buildCellConfig(it BatchItem, tr *trace.Trace, seed uint64, dt, recordDT float64) (sim.Config, error) {
+	s := it.Spec
+	fail := func(err error) (sim.Config, error) {
+		return sim.Config{}, fmt.Errorf("scenario %s: %s: %w", s.Name, s.Buffers[it.Buffer].DisplayName(), err)
+	}
+	conv, err := harvest.ByName(s.Converter)
+	if err != nil {
+		return fail(err)
+	}
+	prof, err := s.Device.Build()
+	if err != nil {
+		return fail(err)
+	}
+	wl, err := s.Workload.Build(tr, seed, prof)
+	if err != nil {
+		return fail(err)
+	}
+	buf, err := s.Buffers[it.Buffer].Build()
+	if err != nil {
+		return fail(err)
+	}
+	dev := mcu.NewDevice(prof, wl)
+	if dev.Scheme, err = s.Device.BuildScheme(); err != nil {
+		return fail(err)
+	}
+	return sim.Config{
+		DT:       dt,
+		Frontend: harvest.NewFrontend(tr, conv),
+		Buffer:   buf,
+		Device:   dev,
+		TailCap:  s.TailCap,
+		RecordDT: recordDT,
+	}, nil
 }

@@ -29,6 +29,20 @@ import (
 // false hit. Worker count is excluded: results are deterministic
 // regardless of pool size.
 
+// The fpcomplete analyzer cross-checks this file against the spec structs:
+// every JSON-visible field of the types below must either feed the
+// canonical form (mentioned here or wholesale-encoded through canonicalRun)
+// or be explicitly allowlisted with a reason. A new physics knob that
+// reaches none of the two breaks the build — a missed field would let two
+// different runs share a cache address.
+//
+//lint:fpcomplete-target Spec TraceSpec DeviceSpec WorkloadSpec BufferSpec StaticSpec RunOptions ckpt.Config
+//lint:fpcomplete-allow Spec.Name presentation metadata, not physics (canonical form comment above)
+//lint:fpcomplete-allow Spec.Title presentation metadata, not physics
+//lint:fpcomplete-allow Spec.Paper presentation metadata, not physics
+//lint:fpcomplete-allow Spec.Long presentation metadata, not physics
+//lint:fpcomplete-allow RunOptions.Workers results are deterministic regardless of pool size
+
 // FingerprintPrefix tags every fingerprint with the hash it was built from.
 const FingerprintPrefix = "sha256:"
 

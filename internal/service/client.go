@@ -40,8 +40,18 @@ func WithRequestTimeout(d time.Duration) DialOption {
 }
 
 // Dial validates the base URL ("http://host:port") and probes the server's
-// /metrics endpoint to fail fast on a wrong address.
+// /metrics endpoint to fail fast on a wrong address. It is
+// DialContext(context.Background(), ...) for callers with no context of
+// their own; anything holding a cancellable context should pass it through
+// DialContext so an interrupted caller also abandons the probe.
 func Dial(baseURL string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), baseURL, opts...)
+}
+
+// DialContext is Dial bounded by the caller's context: the liveness probe
+// runs under ctx (plus the client's per-request timeout, so an unbounded
+// context still cannot pin the dial on a stalled daemon).
+func DialContext(ctx context.Context, baseURL string, opts ...DialOption) (*Client, error) {
 	c, err := newPeerClient(baseURL, DefaultRequestTimeout)
 	if err != nil {
 		return nil, err
@@ -49,9 +59,15 @@ func Dial(baseURL string, opts ...DialOption) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if _, err := c.Metrics(ctx); err != nil {
+	probeCtx := ctx
+	if _, ok := ctx.Deadline(); !ok && c.reqTimeout <= 0 {
+		// Neither the caller nor the per-request bound limits the probe:
+		// fall back to the default so a stalled daemon cannot pin the dial.
+		var cancel context.CancelFunc
+		probeCtx, cancel = context.WithTimeout(ctx, DefaultRequestTimeout)
+		defer cancel()
+	}
+	if _, err := c.Metrics(probeCtx); err != nil {
 		return nil, fmt.Errorf("service: no reactd at %s: %w", c.base, err)
 	}
 	return c, nil

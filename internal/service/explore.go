@@ -33,7 +33,7 @@ func (s *Server) SubmitExplore(sp *explore.Space) (*ExploreStatus, error) {
 	s.explorations.Add(1)
 
 	s.mu.Lock()
-	v := s.newView("exploration", "x", plan.Base, scenario.RunOptions{})
+	v := s.newViewLocked("exploration", "x", plan.Base, scenario.RunOptions{})
 	v.plan = plan
 	v.seeds = plan.Seeds
 	vctx, cancel := context.WithCancel(s.ctx)
@@ -78,7 +78,7 @@ func (s *Server) exploreEvaluator(v *view, vctx context.Context) explore.Evaluat
 		}
 		s.exploreCells.Add(uint64(len(cells)))
 		s.explorePoints.Add(uint64(len(points)))
-		s.flushPending()
+		s.flushPendingLocked()
 		s.mu.Unlock()
 
 		out := make([]sim.Result, len(cells))

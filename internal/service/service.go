@@ -123,7 +123,7 @@ type Server struct {
 	viewLRU *list.List       // done views kept for polling/dedup, MRU first
 	junk    *list.List       // failed/cancelled views kept briefly for polling
 	// pending holds fresh cells attached but not yet scheduled: a
-	// submission attaches all its cells first, then flushPending groups
+	// submission attaches all its cells first, then flushPendingLocked groups
 	// them by (trace, seed, dt) batch key so cells sharing a trace pass
 	// run in lockstep (scenario.RunBatch) instead of one pass each.
 	pending []pendingCell
@@ -236,10 +236,14 @@ type view struct {
 	elem *list.Element // slot in home once terminal
 	home *list.List    // the viewLRU (done) or junk (failed/cancelled) list
 
+	// detached (cell refs already released) is only touched during
+	// release, which runs with Server.mu held — it belongs to that lock,
+	// not to the view's own mutex below.
+	detached bool
+
 	mu       sync.Mutex
 	status   string
 	canceled bool
-	detached bool // cell refs already released
 	errMsg   string
 	finished time.Time
 }
@@ -322,7 +326,7 @@ func (s *Server) Close() {
 
 // --- cell lifecycle ---
 
-// attachCell resolves one cell address against the single-flight index:
+// attachCellLocked resolves one cell address against the single-flight index:
 // a cached cell is reused, an in-flight cell is joined, and a fresh cell
 // is scheduled. Called with s.mu held; the returned state is one of
 // cellCached / cellInFlight / cellFresh.
@@ -332,7 +336,7 @@ const (
 	cellFresh
 )
 
-func (s *Server) attachCell(spec *scenario.Spec, i int, opt scenario.RunOptions, noFwd bool) (*cell, int) {
+func (s *Server) attachCellLocked(spec *scenario.Spec, i int, opt scenario.RunOptions, noFwd bool) (*cell, int) {
 	fp, _ := spec.FingerprintCell(i, opt)
 	if fp != "" {
 		if c := s.cells[fp]; c != nil {
@@ -401,7 +405,7 @@ func decodeCell(payload []byte) (sim.Result, error) {
 	return res, err
 }
 
-// flushPending groups the pending fresh cells by batch key and schedules
+// flushPendingLocked groups the pending fresh cells by batch key and schedules
 // one lockstep batch per group, so a sweep's cells sharing a (trace, seed,
 // dt) address make one pass over the trace however many buffers ride it.
 // In cluster mode each group is further partitioned by ring owner: owned
@@ -409,7 +413,7 @@ func decodeCell(payload []byte) (sim.Result, error) {
 // owners — still grouped, so remote fan-out keeps the
 // one-trace-pass-per-seed batching. Called with s.mu held after a
 // submission attaches all its cells.
-func (s *Server) flushPending() {
+func (s *Server) flushPendingLocked() {
 	pend := s.pending
 	s.pending = nil
 	groups := map[batchKey][]pendingCell{}
@@ -608,11 +612,11 @@ func (s *Server) dropCellIndex(c *cell) {
 	}
 }
 
-// releaseCells detaches a view from its cells: refcounts drop, and a
+// releaseCellsLocked detaches a view from its cells: refcounts drop, and a
 // running cell nobody else wants is cancelled and leaves the index so new
 // identical submissions start fresh instead of attaching to a dying cell.
 // Called with s.mu held; idempotent.
-func (s *Server) releaseCells(v *view) {
+func (s *Server) releaseCellsLocked(v *view) {
 	if v.detached {
 		return
 	}
@@ -630,9 +634,9 @@ func (s *Server) releaseCells(v *view) {
 
 // --- view lifecycle ---
 
-// newView allocates a tracked view and attaches its cells. Called with
+// newViewLocked allocates a tracked view and attaches its cells. Called with
 // s.mu held.
-func (s *Server) newView(kind, prefix string, spec *scenario.Spec, opt scenario.RunOptions) *view {
+func (s *Server) newViewLocked(kind, prefix string, spec *scenario.Spec, opt scenario.RunOptions) *view {
 	s.seq++
 	return &view{
 		id:      fmt.Sprintf("%s%06d", prefix, s.seq),
@@ -647,7 +651,7 @@ func (s *Server) newView(kind, prefix string, spec *scenario.Spec, opt scenario.
 // addCell attaches one cell to the view and keeps the submission-time
 // cache accounting, returning the shared cell. Called with s.mu held.
 func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOptions, key cellKey) *cell {
-	c, state := s.attachCell(spec, i, opt, v.noFwd)
+	c, state := s.attachCellLocked(spec, i, opt, v.noFwd)
 	v.cells = append(v.cells, c)
 	v.keys = append(v.keys, key)
 	switch state {
@@ -664,7 +668,7 @@ func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOp
 // track publishes the view and arranges its finalization: synchronously
 // when every cell is already terminal (a pure cache hit), otherwise
 // through a waiter goroutine. Called with s.mu held.
-func (s *Server) track(v *view) {
+func (s *Server) trackLocked(v *view) {
 	s.views[v.id] = v
 	allDone := true
 	for _, c := range v.cells {
@@ -695,7 +699,7 @@ func (s *Server) track(v *view) {
 // kept only briefly, never displacing reusable views. Called with s.mu
 // held.
 func (s *Server) finalizeLocked(v *view) {
-	s.releaseCells(v)
+	s.releaseCellsLocked(v)
 	v.mu.Lock()
 	status, errMsg := StatusDone, ""
 	if v.kind == "exploration" {
@@ -826,14 +830,14 @@ func (s *Server) submit(spec *scenario.Spec, opt scenario.RunOptions, noFwd bool
 			// through and replace it.
 		}
 	}
-	v := s.newView("run", "r", spec, opt)
+	v := s.newViewLocked("run", "r", spec, opt)
 	v.fp = fp
 	v.noFwd = noFwd
 	seed := ResolveSeed(spec, opt.Seed)
 	for i := range spec.Buffers {
 		s.addCell(v, spec, i, opt, cellKey{Seed: seed, DT: resolveDT(spec, opt.DT), Buffer: spec.Buffers[i].DisplayName()})
 	}
-	s.flushPending()
+	s.flushPendingLocked()
 	// The submission's cache disposition: a run with no fresh cells was
 	// served entirely from shared cells — from the cache when nothing is
 	// in flight, coalesced otherwise.
@@ -848,7 +852,7 @@ func (s *Server) submit(spec *scenario.Spec, opt scenario.RunOptions, noFwd bool
 	if fp != "" {
 		s.byFP[fp] = v
 	}
-	s.track(v)
+	s.trackLocked(v)
 	s.mu.Unlock()
 	st := s.runStatus(v)
 	st.Cached = v.newCells == 0 && v.coalescedCells == 0
@@ -922,7 +926,7 @@ func ResolveSweepAxes(spec *scenario.Spec, req *SweepRequest) (SweepAxes, error)
 func (s *Server) SubmitSweep(spec *scenario.Spec, ax SweepAxes) *SweepStatus {
 	s.sweeps.Add(1)
 	s.mu.Lock()
-	v := s.newView("sweep", "s", spec, scenario.RunOptions{})
+	v := s.newViewLocked("sweep", "s", spec, scenario.RunOptions{})
 	v.seeds = ax.Seeds
 	v.dts = ax.DTs
 	for _, bi := range ax.Buffers {
@@ -937,8 +941,8 @@ func (s *Server) SubmitSweep(spec *scenario.Spec, ax SweepAxes) *SweepStatus {
 			}
 		}
 	}
-	s.flushPending()
-	s.track(v)
+	s.flushPendingLocked()
+	s.trackLocked(v)
 	s.mu.Unlock()
 	return s.sweepStatus(v)
 }
@@ -1271,7 +1275,7 @@ func (s *Server) deleteView(v *view) {
 		if v.fp != "" && s.byFP[v.fp] == v {
 			delete(s.byFP, v.fp)
 		}
-		s.releaseCells(v)
+		s.releaseCellsLocked(v)
 	} else {
 		s.forgetView(v)
 	}

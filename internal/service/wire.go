@@ -204,6 +204,7 @@ type SweepStatus struct {
 // resolved timestep (pass 0 for a single-dt sweep's only axis point).
 func (st *SweepStatus) Row(buffer string, dt float64) (*SweepSummary, bool) {
 	for i := range st.Summary {
+		//lint:reactlint-ignore dtarith row lookup by the exact submitted axis value, which the summary echoes bit-for-bit
 		if st.Summary[i].Buffer == buffer && (dt == 0 || st.Summary[i].DT == dt) {
 			return &st.Summary[i], true
 		}

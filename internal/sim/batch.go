@@ -99,6 +99,7 @@ func RunBatch(cfgs []Config, st *Stats) ([]Result, error) {
 		if d <= 0 {
 			d = 1e-3
 		}
+		//lint:reactlint-ignore dtarith the batch key is exact identity: nearly-equal timesteps must not share a lockstep pass
 		if d != dt {
 			return nil, fmt.Errorf("sim: batched cells must share one timestep (have %g and %g)", dt, d)
 		}

@@ -162,6 +162,7 @@ func Concat(name string, parts ...*Trace) *Trace {
 	}
 	out := &Trace{Name: name, DT: parts[0].DT}
 	for _, p := range parts {
+		//lint:reactlint-ignore dtarith concatenation requires bit-identical sample spacing; a tolerance would splice mismatched grids
 		if p.DT != out.DT {
 			panic("trace: Concat over mismatched sample spacings")
 		}

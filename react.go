@@ -446,6 +446,12 @@ func Dial(baseURL string, opts ...service.DialOption) (*Client, error) {
 	return service.Dial(baseURL, opts...)
 }
 
+// DialContext is Dial bounded by the caller's context: cancel it and the
+// liveness probe is abandoned with it.
+func DialContext(ctx context.Context, baseURL string, opts ...service.DialOption) (*Client, error) {
+	return service.DialContext(ctx, baseURL, opts...)
+}
+
 // FingerprintScenario returns the content address of the runs a scenario
 // spec produces under the given options: a stable SHA-256 over the
 // canonicalized physics (trace, converter, device, workload, buffers,
