@@ -6,6 +6,13 @@
 //
 //	reactd [-addr :8080] [-workers n] [-cache n] [-cache-cells n]
 //	       [-data-dir dir] [-self url -peers url,url,...]
+//	       [-log] [-pprof]
+//
+// -log emits structured request logs (one JSON line per HTTP request, with
+// a server-scoped request id) to stderr. -pprof mounts the net/http/pprof
+// profiling handlers under /debug/pprof/ on the same listener — off by
+// default, since profiling endpoints on a shared port are an operational
+// decision, not a free extra.
 //
 // -data-dir backs the cell cache with a persistent content-addressed disk
 // store: completed cells write through, LRU eviction demotes to disk, and
@@ -32,8 +39,15 @@
 //	GET    /explorations/{id}  poll probed cells and the assembled result
 //	                     (points, bisection bests, Pareto frontiers)
 //	DELETE /explorations/{id}  cancel / forget an exploration
-//	GET    /metrics      cell/run cache hit rates, explore_* counters,
-//	                     queue depth, sims/sec
+//	GET    /metrics      Prometheus text exposition of every counter, gauge
+//	                     and latency histogram (JSON with Accept: application/json)
+//	GET    /metrics.json the JSON metrics report: cache hit rates,
+//	                     explore_* counters, queue depth, sims/sec (lifetime
+//	                     and trailing-minute), build info, start time
+//	GET    /runs/{id}/trace          the run's span tree (also /sweeps/
+//	                     {id}/trace and /explorations/{id}/trace), merged
+//	                     across cluster peers into one tree
+//	GET    /traces/{id}  this node's raw spans for a trace id
 //
 // The cache is cell-granular: the unit of cached work is one buffer of one
 // spec under a resolved seed and timestep (its content address). A run or
@@ -58,7 +72,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -94,6 +110,8 @@ func main() {
 		self        = flag.String("self", "", "this node's advertised base URL (required with -peers)")
 		peers       = flag.String("peers", "", "comma-separated peer base URLs; turns on cluster mode")
 		peerTimeout = flag.Duration("peer-timeout", service.DefaultPeerTimeout, "per-request timeout for peer fetches")
+		logReqs     = flag.Bool("log", false, "emit structured request logs (JSON lines on stderr)")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
 	)
 	flag.Parse()
 
@@ -103,6 +121,9 @@ func main() {
 		CacheCells:  *cacheCells,
 		Self:        *self,
 		PeerTimeout: *peerTimeout,
+	}
+	if *logReqs {
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -123,7 +144,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reactd:", err)
 		os.Exit(1)
 	}
-	httpSrv := newHTTPServer(*addr, srv, 10*time.Second)
+	var handler http.Handler = srv
+	if *withPprof {
+		// Explicit wiring instead of the package's DefaultServeMux side
+		// effect: the service keeps its own mux, and profiling stays
+		// strictly opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+	httpSrv := newHTTPServer(*addr, handler, 10*time.Second)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -4,10 +4,10 @@
 // Usage:
 //
 //	reactsim [-trace name|-tracefile f.csv] [-buffer name] [-bench name]
-//	         [-seed n] [-seeds n] [-dt s] [-record file.csv] [-v]
+//	         [-seed n] [-seeds n] [-dt s] [-record file.csv] [-timeline f.json] [-v]
 //	reactsim -list
-//	reactsim -scenario name [-seed n] [-workers n] [-json]
-//	reactsim -scenario-file spec.json [-seed n] [-workers n] [-json]
+//	reactsim -scenario name [-seed n] [-workers n] [-json] [-timeline f.json]
+//	reactsim -scenario-file spec.json [-seed n] [-workers n] [-json] [-timeline f.json]
 //	reactsim -explore space.json [-target metric<=value] [-workers n] [-json]
 //	reactsim -remote http://host:port -scenario name [-seed n|-seeds n] [-dt s] [-json]
 //	reactsim -remote http://host:port -explore space.json [-target ...] [-json]
@@ -44,6 +44,14 @@
 // bit-identical to their local equivalents for the same inputs (the
 // daemon aggregates and explores with the same code).
 //
+// -timeline records the run as a Chrome trace-event JSON timeline —
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing — showing
+// each cell's device-state spans (booting/on/backing/restoring, off as
+// gaps), checkpoint backup/restore instants, buffer-capacitance counter
+// samples, and the engine's dead-time fast-forward parks. It applies to
+// local single-cell and scenario runs; remote runs, explorations and
+// multi-seed sweeps reject it (their cells overlap one timeline).
+//
 // -cpuprofile and -memprofile write pprof profiles (any mode): the CPU
 // profile covers the whole run, and the heap profile is captured on exit
 // after a final GC. Inspect with `go tool pprof`.
@@ -71,6 +79,7 @@ import (
 	"react/internal/experiments"
 	"react/internal/explore"
 	"react/internal/mcu"
+	"react/internal/obs"
 	"react/internal/runner"
 	"react/internal/scenario"
 	"react/internal/service"
@@ -127,6 +136,7 @@ func run() int {
 		targetStr = flag.String("target", "", `exploration metric goal ("latency<=0.5", "blocks>=100"); needs -explore`)
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
+		timeline  = flag.String("timeline", "", "record a Chrome trace-event timeline (Perfetto / chrome://tracing) to this JSON file")
 	)
 	flag.Parse()
 
@@ -179,7 +189,7 @@ func run() int {
 	}
 
 	if *explFile != "" {
-		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "seed", "seeds", "dt"} {
+		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "seed", "seeds", "dt", "timeline"} {
 			if explicit[bad] {
 				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to explorations (the space file defines the axes)\n", bad)
 				return 2
@@ -201,7 +211,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "reactsim: -remote needs -scenario or -scenario-file (the daemon serves scenario specs)")
 			return 2
 		}
-		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "workers"} {
+		for _, bad := range []string{"trace", "tracefile", "buffer", "bench", "record", "v", "workers", "timeline"} {
 			if explicit[bad] {
 				fmt.Fprintf(os.Stderr, "reactsim: -%s does not apply to remote runs (the daemon owns the simulation)\n", bad)
 				return 2
@@ -239,7 +249,7 @@ func run() int {
 		if explicit["dt"] {
 			dtOverride = *dt
 		}
-		if err := runScenario(*scenName, *scenFile, seedOverride, *workers, dtOverride, *jsonOut); err != nil {
+		if err := runScenario(*scenName, *scenFile, seedOverride, *workers, dtOverride, *jsonOut, *timeline); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
 			return 1
 		}
@@ -258,6 +268,10 @@ func run() int {
 	}
 
 	if *seeds > 1 {
+		if explicit["timeline"] {
+			fmt.Fprintln(os.Stderr, "reactsim: -timeline does not apply to multi-seed sweeps (every seed is the same cell; record one seed at a time)")
+			return 2
+		}
 		if err := sweepSeeds(*traceName, *traceFile, *bufName, *bench, *seeds, *dt); err != nil {
 			fmt.Fprintln(os.Stderr, "reactsim:", err)
 			return 1
@@ -275,10 +289,22 @@ func run() int {
 	if *record != "" {
 		opt.RecordDT = 0.5
 	}
+	var tl *obs.SimTimeline
+	if *timeline != "" {
+		tl = obs.NewSimTimeline(0)
+		tl.Label(0, *bufName+" / "+*bench)
+		opt.Probe = tl
+	}
 	res, err := experiments.RunCell(tr, *bufName, *bench, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reactsim:", err)
 		return 1
+	}
+	if tl != nil {
+		if err := writeTimeline(tl, *timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "reactsim:", err)
+			return 1
+		}
 	}
 
 	s := tr.Stats()
@@ -369,10 +395,29 @@ type scenarioResult struct {
 	BalanceError float64            `json:"energy_balance_error"`
 }
 
+// writeTimeline flushes a recorded timeline to path and reports the event
+// drop count, if any, so a truncated recording is never mistaken for a
+// complete one.
+func writeTimeline(tl *obs.SimTimeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tl.Flush(f); err != nil {
+		return err
+	}
+	if d := tl.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "reactsim: timeline buffer full, %d events dropped (coarsen -dt or shorten the trace)\n", d)
+	}
+	fmt.Fprintf(os.Stderr, "reactsim: timeline written to %s (load in ui.perfetto.dev)\n", path)
+	return nil
+}
+
 // runScenario resolves a scenario (registry name or JSON file), runs every
 // buffer in its set over the engine's pool, and reports per-buffer
 // results.
-func runScenario(name, file string, seed uint64, workers int, dt float64, jsonOut bool) error {
+func runScenario(name, file string, seed uint64, workers int, dt float64, jsonOut bool, timeline string) error {
 	var (
 		spec *scenario.Spec
 		err  error
@@ -393,9 +438,22 @@ func runScenario(name, file string, seed uint64, workers int, dt float64, jsonOu
 	}
 
 	opt := scenario.RunOptions{Seed: seed, Workers: workers, DT: dt}
+	var tl *obs.SimTimeline
+	if timeline != "" {
+		tl = obs.NewSimTimeline(0)
+		for i, b := range spec.Buffers {
+			tl.Label(i, b.DisplayName())
+		}
+		opt.Probe = tl
+	}
 	run, err := spec.Run(context.Background(), nil, opt)
 	if err != nil {
 		return err
+	}
+	if tl != nil {
+		if werr := writeTimeline(tl, timeline); werr != nil {
+			return werr
+		}
 	}
 	tr, err := spec.Trace.Build(run.Seed)
 	if err != nil {

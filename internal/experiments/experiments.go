@@ -63,9 +63,10 @@ func NewWorkload(bench string, tr *trace.Trace, seed uint64) mcu.Workload {
 
 // Options tunes a run; the zero value uses the evaluation defaults.
 type Options struct {
-	Seed     uint64  // trace/event seed (default 1)
-	DT       float64 // timestep (default 1 ms)
-	RecordDT float64 // voltage recording interval, 0 = off
+	Seed     uint64    // trace/event seed (default 1)
+	DT       float64   // timestep (default 1 ms)
+	RecordDT float64   // voltage recording interval, 0 = off
+	Probe    sim.Probe // optional per-cell event observer (timeline recording)
 }
 
 func (o Options) seed() uint64 {
@@ -77,7 +78,7 @@ func (o Options) seed() uint64 {
 
 // scenarioOptions maps run options onto the scenario layer's.
 func (o Options) scenarioOptions() scenario.RunOptions {
-	return scenario.RunOptions{Seed: o.seed(), DT: o.DT, RecordDT: o.RecordDT}
+	return scenario.RunOptions{Seed: o.seed(), DT: o.DT, RecordDT: o.RecordDT, Probe: o.Probe}
 }
 
 // RunCell simulates one (trace × buffer × benchmark) cell of the

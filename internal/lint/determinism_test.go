@@ -10,5 +10,5 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, []*analysis.Analyzer{lint.Determinism},
-		"determinism/sim", "determinism/other")
+		"determinism/sim", "determinism/other", "determinism/obs")
 }

@@ -1,0 +1,47 @@
+// Package obs is the observability fixture: its import path ends in /obs,
+// so it carries the partial determinism contract — wall-clock reads are
+// exempt (span and metric timestamps are wall-clock by design), but
+// randomness and order-sensitive map iteration stay forbidden, because
+// exposition and trace output must not depend on the Go map seed.
+package obs
+
+import (
+	"math/rand" // want "randomness in simulation packages"
+	"sort"
+	"time"
+)
+
+// SpanStart stamps a span with the wall clock: exempt in obs packages.
+func SpanStart() int64 {
+	return time.Now().UnixNano()
+}
+
+// SpanDuration uses the Since helper: also exempt here.
+func SpanDuration(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Jitter is still forbidden: sampling decisions must be seeded.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Expose appends metric names under map iteration without a sort: the
+// exposition would follow the map seed.
+func Expose(families map[string]float64) []string {
+	var lines []string
+	for name := range families {
+		lines = append(lines, name) // want "order nondeterministic"
+	}
+	return lines
+}
+
+// ExposeSorted is the sanctioned collect-then-sort idiom.
+func ExposeSorted(families map[string]float64) []string {
+	var lines []string
+	for name := range families {
+		lines = append(lines, name)
+	}
+	sort.Strings(lines)
+	return lines
+}

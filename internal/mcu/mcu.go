@@ -10,6 +10,7 @@ package mcu
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"react/internal/buffer"
@@ -103,6 +104,23 @@ const (
 	// (only with a checkpoint scheme attached).
 	Backing
 )
+
+// String names the state for logs and timeline tracks.
+func (s State) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case Booting:
+		return "booting"
+	case On:
+		return "on"
+	case Restoring:
+		return "restoring"
+	case Backing:
+		return "backing"
+	}
+	return "state(" + strconv.Itoa(int(s)) + ")"
+}
 
 // Env is the view a workload gets of its execution environment on each
 // step.

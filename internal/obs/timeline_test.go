@@ -1,0 +1,132 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"react/internal/ckpt"
+	"react/internal/obs"
+	"react/internal/scenario"
+	"react/internal/sim"
+	"react/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden timeline file")
+
+// coldStartSpec crafts the canonical timeline fixture: a 60 s all-zero
+// cold-start prefix (the dead time the batched executor fast-forwards
+// over), then steady weak power under the on-demand all-backup checkpoint
+// scheme, so the recording must contain at least one fast-forward span and
+// several ckpt-backup instants. Everything is derived from tick
+// arithmetic, so the recording is bit-identical across runs and worker
+// counts.
+func coldStartSpec() *scenario.Spec {
+	p := make([]float64, 300)
+	for i := 60; i < len(p); i++ {
+		p[i] = 2.2e-3
+	}
+	return &scenario.Spec{
+		Name:     "timeline-golden",
+		Trace:    scenario.TraceSpec{Loaded: &trace.Trace{Name: "crafted-cold", DT: 1, Power: p}},
+		Device:   scenario.DeviceSpec{Checkpoint: &ckpt.Config{Scheme: "odab"}},
+		Workload: scenario.WorkloadSpec{Bench: "DE"},
+		Buffers:  scenario.Presets("770 µF", "REACT"),
+		DT:       1e-3,
+	}
+}
+
+// TestSimTimelineGolden records the crafted cold-start run and compares
+// the flushed Chrome trace-event JSON byte-for-byte against the golden
+// file (regenerate with -update). It also asserts the structural
+// properties the golden encodes: a fast-forward span covering the dead
+// prefix, checkpoint backup instants, and valid trace-event JSON.
+func TestSimTimelineGolden(t *testing.T) {
+	spec := coldStartSpec()
+	tl := obs.NewSimTimeline(0)
+	for i, b := range spec.Buffers {
+		tl.Label(i, b.DisplayName())
+	}
+	items := make([]scenario.BatchItem, len(spec.Buffers))
+	for i := range items {
+		items[i] = scenario.BatchItem{Spec: spec, Buffer: i}
+	}
+	var st sim.Stats
+	if _, err := scenario.RunBatch(items, scenario.RunOptions{Probe: tl}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Dropped() != 0 {
+		t.Fatalf("fixture run dropped %d events; raise the cap or shrink the fixture", tl.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := tl.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural assertions, independent of the golden bytes.
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("flushed timeline is not valid trace-event JSON: %v", err)
+	}
+	var backups, ffwd int
+	var ffwdDur float64
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Name {
+		case "ckpt-backup":
+			backups++
+		case "fast-forward":
+			ffwd++
+			if ev.Dur > ffwdDur {
+				ffwdDur = ev.Dur
+			}
+		}
+	}
+	if backups < 2 {
+		t.Errorf("recording has %d ckpt-backup instants, want several (odab under weak power)", backups)
+	}
+	if ffwd < 1 {
+		t.Error("recording has no fast-forward span over a 60 s dead prefix")
+	}
+	// The park must cover (at least almost all of) the 60 s prefix; ts is
+	// microseconds.
+	if ffwdDur < 55e6 {
+		t.Errorf("longest fast-forward span is %.0f µs, want ≥ 55 s", ffwdDur)
+	}
+
+	golden := filepath.Join("testdata", "timeline_cold_start.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/obs -run SimTimelineGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline diverges from golden %s (regenerate with -update if the change is intended); got %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+
+	// A second flush of the same recorder is byte-identical: Flush is a
+	// snapshot, not a drain.
+	var again bytes.Buffer
+	if err := tl.Flush(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("second Flush differs from the first")
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow estimates an event rate over a sliding window using a ring
+// of per-second buckets. Add records events against the current wall
+// second; Rate sums the buckets still inside the window and divides by
+// the observed span. Unlike a lifetime counter/uptime quotient, the
+// estimate tracks the recent rate and does not decay toward zero on a
+// long-lived daemon.
+type RateWindow struct {
+	mu      sync.Mutex
+	buckets []uint64
+	epochs  []int64 // unix second each bucket was last written
+	start   int64   // unix second of construction, for short-uptime spans
+	now     func() time.Time
+}
+
+// NewRateWindow returns a window covering the past `seconds` seconds.
+func NewRateWindow(seconds int) *RateWindow {
+	if seconds < 1 {
+		seconds = 1
+	}
+	return &RateWindow{
+		buckets: make([]uint64, seconds),
+		epochs:  make([]int64, seconds),
+		start:   time.Now().Unix(),
+		now:     time.Now,
+	}
+}
+
+// Add records n events now.
+func (w *RateWindow) Add(n uint64) {
+	sec := w.now().Unix()
+	i := int(sec % int64(len(w.buckets)))
+	w.mu.Lock()
+	if w.epochs[i] != sec {
+		w.epochs[i] = sec
+		w.buckets[i] = 0
+	}
+	w.buckets[i] += n
+	w.mu.Unlock()
+}
+
+// Rate returns events per second over the window. Buckets older than the
+// window (stale epochs) are ignored; on a daemon younger than the window
+// the divisor is the actual uptime so early estimates are not diluted.
+func (w *RateWindow) Rate() float64 {
+	sec := w.now().Unix()
+	span := int64(len(w.buckets))
+	if up := sec - w.start + 1; up < span {
+		span = up
+	}
+	if span < 1 {
+		span = 1
+	}
+	var total uint64
+	w.mu.Lock()
+	for i := range w.buckets {
+		if sec-w.epochs[i] < int64(len(w.buckets)) {
+			total += w.buckets[i]
+		}
+	}
+	w.mu.Unlock()
+	return float64(total) / float64(span)
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a RateWindow through simulated seconds.
+type fakeClock struct{ sec int64 }
+
+func (c *fakeClock) now() time.Time { return time.Unix(c.sec, 0) }
+
+func newTestWindow(seconds int, clk *fakeClock) *RateWindow {
+	w := NewRateWindow(seconds)
+	w.start = clk.sec
+	w.now = clk.now
+	return w
+}
+
+// TestRateWindowSliding: the estimate tracks the trailing window, so a
+// burst ages out instead of diluting forever like a lifetime quotient.
+func TestRateWindowSliding(t *testing.T) {
+	clk := &fakeClock{sec: 1000}
+	w := newTestWindow(10, clk)
+
+	// 5 events/sec for 10 seconds: rate settles at 5.
+	for i := 0; i < 10; i++ {
+		w.Add(5)
+		if i < 9 {
+			clk.sec++
+		}
+	}
+	if r := w.Rate(); r != 5 {
+		t.Fatalf("steady rate = %g, want 5", r)
+	}
+
+	// 10 silent seconds: every bucket is stale, rate decays to zero.
+	clk.sec += 10
+	if r := w.Rate(); r != 0 {
+		t.Fatalf("rate after silence = %g, want 0", r)
+	}
+
+	// A fresh burst registers immediately against the full window.
+	w.Add(20)
+	if r := w.Rate(); r != 2 {
+		t.Fatalf("burst rate = %g, want 20/10 = 2", r)
+	}
+}
+
+// TestRateWindowShortUptime: a daemon younger than the window divides by
+// its actual uptime, so early estimates are not diluted by seconds that
+// never existed.
+func TestRateWindowShortUptime(t *testing.T) {
+	clk := &fakeClock{sec: 2000}
+	w := newTestWindow(60, clk)
+	w.Add(8)
+	clk.sec++ // 2 observed seconds of life
+	w.Add(8)
+	if r := w.Rate(); r != 8 {
+		t.Fatalf("short-uptime rate = %g, want 16 events / 2 s = 8", r)
+	}
+}
+
+// TestRateWindowBucketReuse: a bucket revisited a full window later is
+// reset, not accumulated into.
+func TestRateWindowBucketReuse(t *testing.T) {
+	clk := &fakeClock{sec: 3000}
+	w := newTestWindow(5, clk)
+	w.Add(100)
+	clk.sec += 5 // same ring slot, new epoch
+	w.Add(10)
+	if r := w.Rate(); r != 2 {
+		t.Fatalf("rate = %g, want only the fresh bucket to count (10/5 = 2)", r)
+	}
+}

@@ -42,6 +42,7 @@ import (
 //lint:fpcomplete-allow Spec.Paper presentation metadata, not physics
 //lint:fpcomplete-allow Spec.Long presentation metadata, not physics
 //lint:fpcomplete-allow RunOptions.Workers results are deterministic regardless of pool size
+//lint:fpcomplete-allow RunOptions.Probe observation hook: probes never change results (sim.Probe contract)
 
 // FingerprintPrefix tags every fingerprint with the hash it was built from.
 const FingerprintPrefix = "sha256:"

@@ -24,6 +24,10 @@ type RunOptions struct {
 	DT float64
 	// RecordDT, when positive, records voltage/state series.
 	RecordDT float64
+	// Probe, when non-nil, observes every cell's device-level events
+	// (sim.Probe); callbacks carry the cell's global buffer index. Probes
+	// never change results, so the field is outside the fingerprint.
+	Probe sim.Probe
 }
 
 // Validate checks the options' timing overrides: DT and RecordDT must be
@@ -110,12 +114,14 @@ func (s *Spec) Cell(i int, opt RunOptions) (sim.Result, error) {
 		dt = s.DT
 	}
 	return sim.Run(sim.Config{
-		DT:       dt,
-		Frontend: harvest.NewFrontend(tr, conv),
-		Buffer:   buf,
-		Device:   dev,
-		TailCap:  s.TailCap,
-		RecordDT: opt.RecordDT,
+		DT:        dt,
+		Frontend:  harvest.NewFrontend(tr, conv),
+		Buffer:    buf,
+		Device:    dev,
+		TailCap:   s.TailCap,
+		RecordDT:  opt.RecordDT,
+		Probe:     opt.Probe,
+		ProbeCell: i,
 	})
 }
 

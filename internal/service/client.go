@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"react/internal/explore"
+	"react/internal/obs"
 )
 
 // DefaultRequestTimeout bounds each HTTP request a Client issues unless
@@ -111,6 +112,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's span context (if any): the receiving server
+	// parents the submission's root span under it, so cross-node work
+	// stays one trace.
+	if sc, ok := obs.SpanContextFromContext(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -147,13 +154,33 @@ func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
 	return out.Scenarios, nil
 }
 
-// Metrics reads the server's cache/queue/throughput counters.
+// Metrics reads the server's cache/queue/throughput counters (the JSON
+// report; GET /metrics itself now serves Prometheus text by default).
 func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	var m Metrics
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics.json", nil, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// TraceSpans reads the server's raw (node-local, flat) spans for a trace
+// id — the cross-peer merge primitive behind the /trace view endpoints.
+func (c *Client) TraceSpans(ctx context.Context, traceID string) (*TraceResponse, error) {
+	var tr TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/traces/"+url.PathEscape(traceID), nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// viewTrace fetches one submission's assembled span tree.
+func (c *Client) viewTrace(ctx context.Context, kind, id string) (*TraceResponse, error) {
+	var tr TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/"+kind+"/"+url.PathEscape(id)+"/trace", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // RunAsync submits a run and returns a handle immediately; the server
@@ -200,6 +227,11 @@ func (r *RemoteRun) Poll(ctx context.Context) (*RunStatus, error) {
 // cells are dropped).
 func (r *RemoteRun) Cancel(ctx context.Context) error {
 	return r.c.do(ctx, http.MethodDelete, "/runs/"+url.PathEscape(r.ID), nil, nil)
+}
+
+// Trace fetches the run's span tree, merged across cluster peers.
+func (r *RemoteRun) Trace(ctx context.Context) (*TraceResponse, error) {
+	return r.c.viewTrace(ctx, "runs", r.ID)
 }
 
 // Wait polls until the run reaches a terminal state. A failed or cancelled
@@ -284,6 +316,11 @@ func (r *RemoteSweep) Cancel(ctx context.Context) error {
 	return r.c.do(ctx, http.MethodDelete, "/sweeps/"+url.PathEscape(r.ID), nil, nil)
 }
 
+// Trace fetches the sweep's span tree, merged across cluster peers.
+func (r *RemoteSweep) Trace(ctx context.Context) (*TraceResponse, error) {
+	return r.c.viewTrace(ctx, "sweeps", r.ID)
+}
+
 // Wait polls until the sweep reaches a terminal state. A failed or
 // cancelled sweep returns its final status alongside an error.
 func (r *RemoteSweep) Wait(ctx context.Context) (*SweepStatus, error) {
@@ -365,6 +402,12 @@ func (r *RemoteExploration) Poll(ctx context.Context) (*ExploreStatus, error) {
 // dropped.
 func (r *RemoteExploration) Cancel(ctx context.Context) error {
 	return r.c.do(ctx, http.MethodDelete, "/explorations/"+url.PathEscape(r.ID), nil, nil)
+}
+
+// Trace fetches the exploration's span tree, merged across cluster peers
+// — a cross-node exploration renders as one tree.
+func (r *RemoteExploration) Trace(ctx context.Context) (*TraceResponse, error) {
+	return r.c.viewTrace(ctx, "explorations", r.ID)
 }
 
 // Wait polls until the exploration reaches a terminal state. A failed or

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"react/internal/obs"
 	"react/internal/scenario"
 	"react/internal/sim"
 )
@@ -172,22 +173,29 @@ func (s *Server) startPeerBatch(owner string, spec *scenario.Spec, group []pendi
 	go func() {
 		defer s.jobs.Done()
 		defer cancel()
-		results, cellErrs, err := s.fetchFromPeer(ctx, owner, spec, group, opt)
+		// The peer span carries the view's trace across the wire: its
+		// context rides the forwarded submission's traceparent header, so
+		// the owner's run/batch/sim spans join this trace as its children.
+		pspan := s.spans.Start(group[0].tctx, "peer", s.node,
+			map[string]string{"peer": owner, "cells": fmt.Sprint(len(group))})
+		pctx := obs.ContextWithSpan(ctx, pspan.Context())
+		results, cellErrs, err := s.fetchFromPeer(pctx, owner, spec, group, opt)
+		pspan.End(err)
 		switch {
 		case err == nil:
 			s.peerCells.Add(uint64(len(group)))
 			for _, p := range group {
 				name := p.spec.Buffers[p.i].DisplayName()
 				if msg, bad := cellErrs[name]; bad {
-					s.completeCell(p.c, sim.Result{}, fmt.Errorf("peer %s: %s", owner, msg), cellFromPeer)
+					s.completeCell(p.c, sim.Result{}, fmt.Errorf("peer %s: %s", owner, msg), cellFromPeer, 0, sim.CellStats{})
 					continue
 				}
-				s.completeCell(p.c, results[name], nil, cellFromPeer)
+				s.completeCell(p.c, results[name], nil, cellFromPeer, 0, sim.CellStats{})
 			}
 		case ctx.Err() != nil:
 			// Released by every view (or the server is closing).
 			for _, p := range group {
-				s.completeCell(p.c, sim.Result{}, context.Canceled, cellFromPeer)
+				s.completeCell(p.c, sim.Result{}, context.Canceled, cellFromPeer, 0, sim.CellStats{})
 			}
 		default:
 			// The owner is unreachable: degrade to local simulation. Members
@@ -210,7 +218,7 @@ func (s *Server) startPeerBatch(owner string, spec *scenario.Spec, group []pendi
 			}
 			s.mu.Unlock()
 			for _, p := range dead {
-				s.completeCell(p.c, sim.Result{}, context.Canceled, cellFromPeer)
+				s.completeCell(p.c, sim.Result{}, context.Canceled, cellFromPeer, 0, sim.CellStats{})
 			}
 		}
 	}()
@@ -240,6 +248,7 @@ func (s *Server) fetchFromPeer(ctx context.Context, owner string, spec *scenario
 	req := RunRequest{Spec: data, Seed: opt.Seed, DT: opt.DT, NoForward: true}
 
 	s.peerRequests.Add(1)
+	began := time.Now()
 	st, err := runOnPeer(ctx, client, req)
 	if err != nil && ctx.Err() == nil {
 		s.peerRetries.Add(1)
@@ -248,6 +257,7 @@ func (s *Server) fetchFromPeer(ctx context.Context, owner string, spec *scenario
 	if err != nil {
 		return nil, nil, err
 	}
+	s.hPeerRTT.Observe(time.Since(began).Seconds())
 	results := map[string]sim.Result{}
 	cellErrs := map[string]string{}
 	for _, cs := range st.Cells {

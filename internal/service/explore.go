@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"react/internal/explore"
+	"react/internal/obs"
 	"react/internal/scenario"
 	"react/internal/sim"
 )
@@ -26,6 +27,11 @@ import (
 // that fails to resolve returns the error synchronously and nothing is
 // tracked.
 func (s *Server) SubmitExplore(sp *explore.Space) (*ExploreStatus, error) {
+	return s.submitExplore(sp, obs.SpanContext{})
+}
+
+// submitExplore is SubmitExplore with the submitter's span context.
+func (s *Server) submitExplore(sp *explore.Space, parent obs.SpanContext) (*ExploreStatus, error) {
 	plan, err := sp.Resolve()
 	if err != nil {
 		return nil, err
@@ -33,7 +39,7 @@ func (s *Server) SubmitExplore(sp *explore.Space) (*ExploreStatus, error) {
 	s.explorations.Add(1)
 
 	s.mu.Lock()
-	v := s.newViewLocked("exploration", "x", plan.Base, scenario.RunOptions{})
+	v := s.newViewLocked("exploration", "x", plan.Base, scenario.RunOptions{}, parent)
 	v.plan = plan
 	v.seeds = plan.Seeds
 	vctx, cancel := context.WithCancel(s.ctx)
@@ -133,9 +139,11 @@ func (s *Server) exploreStatus(v *view) *ExploreStatus {
 		ID:             v.id,
 		Scenario:       plan.Base.Name,
 		Strategy:       plan.Strategy,
+		TraceID:        v.tctx.TraceID.String(),
 		Status:         v.status,
 		Error:          v.errMsg,
 		Created:        v.created,
+		Progress:       progressOf(v.cells),
 		Seeds:          plan.Seeds,
 		TotalPoints:    len(plan.Points),
 		CachedCells:    v.cachedCells,
@@ -171,7 +179,7 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding exploration space: %v", err)
 		return
 	}
-	st, err := s.SubmitExplore(&sp)
+	st, err := s.submitExplore(&sp, parentSpan(req))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

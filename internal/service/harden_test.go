@@ -16,7 +16,7 @@ import (
 func TestClientRequestTimeout(t *testing.T) {
 	stall := make(chan struct{})
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/metrics" {
+		if r.URL.Path == "/metrics.json" {
 			writeJSON(w, http.StatusOK, &Metrics{})
 			return
 		}

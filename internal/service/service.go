@@ -21,7 +21,19 @@
 //	POST   /sweeps       submit a sweep: spec × seed list/range × dt axis × buffer subset
 //	GET    /sweeps/{id}  poll per-cell results and the per-axis summary
 //	DELETE /sweeps/{id}  cancel an in-flight sweep / forget a finished one
-//	GET    /metrics      cell/run cache hit rates, queue depth, sims/sec
+//	GET    /metrics      Prometheus text exposition (JSON via Accept: application/json)
+//	GET    /metrics.json the JSON metrics report, unconditionally
+//	GET    /traces/{id}  this node's raw spans for a trace id (peer merge primitive)
+//
+// plus a trace view per submission kind — GET /runs/{id}/trace,
+// /sweeps/{id}/trace, /explorations/{id}/trace — assembling the submission's
+// span tree, merged across cluster peers so a forwarded exploration renders
+// as one tree however many nodes simulated its cells.
+//
+// Every submission is traced: a root span is minted at submit (or adopted
+// from the client's traceparent header), batch groups and cell simulations
+// nest under it, and peer fan-out propagates the context so remote spans
+// carry the originating trace id.
 package service
 
 import (
@@ -31,13 +43,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"react/internal/explore"
+	"react/internal/obs"
 	"react/internal/scenario"
 	"react/internal/sim"
 	"react/internal/store"
@@ -80,6 +96,10 @@ type Config struct {
 	// PeerTimeout bounds each HTTP request to a peer
 	// (0 = DefaultPeerTimeout).
 	PeerTimeout time.Duration
+	// Logger, when set, receives structured request and lifecycle logs
+	// (one line per HTTP request, with a server-scoped request id). Nil
+	// discards logs — the default keeps the service silent, as before.
+	Logger *slog.Logger
 }
 
 // Server implements the service over http.Handler. Create with New, shut
@@ -96,21 +116,41 @@ type Server struct {
 	sem        chan struct{}
 	jobs       sync.WaitGroup
 	start      time.Time
+	log        *slog.Logger
+	reqSeq     atomic.Uint64 // HTTP request-id mint
 
-	// Monotonic counters (atomic: bumped from cell goroutines).
-	submitted, hits, coalesced, misses, evictions   atomic.Uint64 // run submissions
-	sweeps                                          atomic.Uint64 // sweep submissions
-	explorations                                    atomic.Uint64 // exploration submissions
-	explorePoints, exploreCells                     atomic.Uint64 // exploration points evaluated / cells attached
-	cellHits, cellCoalesced, cellMisses, cellEvicts atomic.Uint64 // cell attachments
-	cellsQueued, cellsDone                          atomic.Uint64 // scheduled cells of any outcome (queue depth)
-	simsOK, simsFailed                              atomic.Uint64 // actual simulations: succeeded / errored
+	// Observability: the metrics registry behind GET /metrics, the span
+	// store behind the trace endpoints, and the sliding sims/sec window.
+	// The counters below are registry handles — still lock-free atomics,
+	// bumped from cell goroutines — so the JSON report and the Prometheus
+	// exposition read one set of numbers.
+	reg   *obs.Registry
+	spans *obs.SpanStore
+	rate  *obs.RateWindow // completed sims over the trailing minute
+	node  string          // span attribution: cluster self URL, or "local"
+
+	// Monotonic counters.
+	submitted, hits, coalesced, misses, evictions   *obs.Counter // run submissions
+	sweeps                                          *obs.Counter // sweep submissions
+	explorations                                    *obs.Counter // exploration submissions
+	explorePoints, exploreCells                     *obs.Counter // exploration points evaluated / cells attached
+	cellHits, cellCoalesced, cellMisses, cellEvicts *obs.Counter // cell attachments
+	cellsQueued, cellsDone                          *obs.Counter // scheduled cells of any outcome (queue depth)
+	simsOK, simsFailed                              *obs.Counter // actual simulations: succeeded / errored
 	// Batched-executor accounting (sim.Stats totals across every batch).
-	ticksSimulated, ticksFastForwarded, tracePasses atomic.Uint64
+	ticksSimulated, ticksFastForwarded, tracePasses *obs.Counter
 	// Disk-tier accounting (zero without a Store).
-	diskHits, diskMisses, diskPuts atomic.Uint64
+	diskHits, diskMisses, diskPuts *obs.Counter
 	// Peer fan-out accounting (zero without cluster mode).
-	peerRequests, peerRetries, peerFallbacks, peerCells atomic.Uint64
+	peerRequests, peerRetries, peerFallbacks, peerCells *obs.Counter
+
+	// Latency and shape distributions.
+	hCellSim    *obs.Histogram // wall time of the batch pass that produced each cell
+	hBatchCells *obs.Histogram // cells per lockstep batch
+	hQueueWait  *obs.Histogram // enqueue → worker-slot acquisition
+	hPeerRTT    *obs.Histogram // peer submission round trip (submit → terminal)
+	hDiskPut    *obs.Histogram // disk-tier write-through latency
+	hDiskGet    *obs.Histogram // disk-tier promote-read latency
 
 	// mu guards the stores below and every cell/view list-membership and
 	// refcount field. Lock order: mu before view.mu.
@@ -139,6 +179,9 @@ type pendingCell struct {
 	i     int
 	opt   scenario.RunOptions
 	noFwd bool
+	// tctx is the attaching view's root span context: the parent of the
+	// batch-group span this cell's simulation will nest under.
+	tctx obs.SpanContext
 }
 
 // batchKey groups pending cells that can share one lockstep trace pass:
@@ -177,6 +220,11 @@ type cell struct {
 	done chan struct{} // closed when terminal
 	res  sim.Result
 	err  string // "" = ok
+
+	// Per-cell tick accounting from the batch executor (sim.CellStats),
+	// written before done closes — the close is the happens-before edge, as
+	// for res — and zero for cached, disk-promoted and peer-fetched cells.
+	ticks, ffTicks uint64
 }
 
 // terminal reports whether the cell has finished (any outcome).
@@ -211,6 +259,12 @@ type view struct {
 	// noFwd pins the view's fresh cells to this node in cluster mode;
 	// set on peer-forwarded submissions.
 	noFwd bool
+
+	// Tracing: the submission's root span (ended at finalization) and its
+	// context, under which every batch and cell span nests. The context is
+	// immutable after creation; root's methods are internally synchronized.
+	tctx obs.SpanContext
+	root *obs.ActiveSpan
 
 	// Sweep axes, resolved at submission.
 	seeds   []uint64
@@ -278,6 +332,8 @@ func New(cfg Config) (*Server, error) {
 		shutdown:   cancel,
 		sem:        make(chan struct{}, workers),
 		start:      time.Now(),
+		log:        cfg.Logger,
+		node:       "local",
 		views:      map[string]*view{},
 		byFP:       map[string]*view{},
 		cells:      map[string]*cell{},
@@ -285,28 +341,139 @@ func New(cfg Config) (*Server, error) {
 		viewLRU:    list.New(),
 		junk:       list.New(),
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if cl != nil {
+		s.node = cl.self
+	}
+	s.initObs()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /runs", s.handleSubmit)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleViewTrace("run"))
 	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
 	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("GET /sweeps/{id}/trace", s.handleViewTrace("sweep"))
 	mux.HandleFunc("DELETE /sweeps/{id}", s.handleSweepDelete)
 	mux.HandleFunc("POST /explorations", s.handleExploreSubmit)
 	mux.HandleFunc("GET /explorations/{id}", s.handleExplore)
+	mux.HandleFunc("GET /explorations/{id}/trace", s.handleViewTrace("exploration"))
 	mux.HandleFunc("DELETE /explorations/{id}", s.handleExploreDelete)
+	mux.HandleFunc("GET /traces/{id}", s.handleTraceRaw)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux = mux
 	return s, nil
+}
+
+// initObs builds the metrics registry, the span store, and the sliding
+// sims/sec window. Counter handles land on the Server fields the rest of
+// this file bumps; gauges read live state through closures (a scrape takes
+// s.mu briefly for the cache sizes — registration order is New-time only,
+// and nothing holding s.mu ever scrapes, so the lock order is one-way).
+func (s *Server) initObs() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.spans = obs.NewSpanStore(0, 0)
+	s.rate = obs.NewRateWindow(60)
+
+	s.submitted = r.Counter("react_runs_submitted_total", "Run submissions accepted (POST /runs and peer forwards).")
+	s.hits = r.Counter("react_run_cache_hits_total", "Run submissions served entirely from cache.")
+	s.coalesced = r.Counter("react_run_coalesced_total", "Run submissions attached to identical in-flight work.")
+	s.misses = r.Counter("react_run_cache_misses_total", "Run submissions that scheduled at least one fresh cell.")
+	s.evictions = r.Counter("react_run_evictions_total", "Finished run/sweep views evicted by LRU pressure.")
+	s.sweeps = r.Counter("react_sweeps_submitted_total", "Sweep submissions accepted.")
+	s.explorations = r.Counter("react_explorations_submitted_total", "Exploration submissions accepted.")
+	s.explorePoints = r.Counter("react_explore_points_total", "Lattice points probed by exploration strategies.")
+	s.exploreCells = r.Counter("react_explore_cells_total", "Cells attached by exploration strategies.")
+	s.cellHits = r.Counter("react_cell_hits_total", "Cell attachments served from the cache (memory or disk).")
+	s.cellCoalesced = r.Counter("react_cell_coalesced_total", "Cell attachments joined to an in-flight simulation.")
+	s.cellMisses = r.Counter("react_cell_misses_total", "Cell attachments that scheduled a fresh simulation.")
+	s.cellEvicts = r.Counter("react_cell_evictions_total", "Cached cells evicted by LRU pressure.")
+	s.cellsQueued = r.Counter("react_cells_queued_total", "Cells handed to the scheduler (any outcome).")
+	s.cellsDone = r.Counter("react_cells_done_total", "Scheduled cells that reached a terminal state.")
+	s.simsOK = r.Counter("react_sims_completed_total", "Local simulations that completed successfully.")
+	s.simsFailed = r.Counter("react_sims_failed_total", "Local simulations that errored.")
+	s.ticksSimulated = r.Counter("react_ticks_simulated_total", "Cell-ticks actually stepped by the batch executor.")
+	s.ticksFastForwarded = r.Counter("react_ticks_fastforwarded_total", "Cell-ticks skipped by the dead-time fast-forward.")
+	s.tracePasses = r.Counter("react_trace_passes_total", "Lockstep passes over a trace (one per batch).")
+	s.diskHits = r.Counter("react_disk_hits_total", "Memory misses served from the disk tier.")
+	s.diskMisses = r.Counter("react_disk_misses_total", "Memory misses the disk tier could not serve.")
+	s.diskPuts = r.Counter("react_disk_puts_total", "Cells written through to the disk tier.")
+	s.peerRequests = r.Counter("react_peer_requests_total", "Run submissions sent to cluster peers.")
+	s.peerRetries = r.Counter("react_peer_retries_total", "Peer submissions retried after a transport failure.")
+	s.peerFallbacks = r.Counter("react_peer_fallbacks_total", "Peer fan-outs degraded to local simulation.")
+	s.peerCells = r.Counter("react_peer_cells_total", "Cells answered by cluster peers.")
+
+	s.hCellSim = r.Histogram("react_cell_sim_duration_seconds",
+		"Wall time of the lockstep batch pass that produced each locally simulated cell (observed once per successful cell).",
+		obs.DurationBuckets)
+	s.hBatchCells = r.Histogram("react_batch_cells",
+		"Cells riding one lockstep batch pass.", obs.SizeBuckets)
+	s.hQueueWait = r.Histogram("react_queue_wait_seconds",
+		"Batch wait from enqueue to worker-slot acquisition.", obs.DurationBuckets)
+	s.hPeerRTT = r.Histogram("react_peer_rtt_seconds",
+		"Peer run round trip, submission to terminal status.", obs.DurationBuckets)
+	s.hDiskPut = r.Histogram("react_disk_put_seconds",
+		"Disk-tier write-through latency.", obs.DurationBuckets)
+	s.hDiskGet = r.Histogram("react_disk_get_seconds",
+		"Disk-tier promote-read latency.", obs.DurationBuckets)
+
+	r.Gauge("react_start_time_seconds", "Unix time the server started.").Set(float64(s.start.UnixNano()) / 1e9)
+	r.InfoGauge("react_build_info", "Build metadata; the value is always 1.", obs.BuildInfoLabels())
+	r.GaugeFunc("react_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	r.GaugeFunc("react_workers", "Worker-slot bound on concurrently simulating batches.", func() float64 {
+		return float64(s.workers)
+	})
+	r.GaugeFunc("react_cells_running", "Worker slots currently occupied.", func() float64 {
+		return float64(len(s.sem))
+	})
+	r.GaugeFunc("react_queue_depth", "Scheduled cells not yet terminal.", func() float64 {
+		return float64(int64(s.cellsQueued.Load() - s.cellsDone.Load()))
+	})
+	r.GaugeFunc("react_sims_per_sec_60s", "Completed simulations per second over the trailing minute.", s.rate.Rate)
+	r.GaugeFunc("react_run_cache_entries", "Finished views held for reuse.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.viewLRU.Len())
+	})
+	r.GaugeFunc("react_cell_cache_entries", "Finished cells held for content-addressed reuse.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cellLRU.Len())
+	})
+	r.GaugeFunc("react_dropped_spans", "Spans dropped by span-store bounds.", func() float64 {
+		return float64(s.spans.Dropped())
+	})
+	if s.store != nil {
+		r.GaugeFunc("react_disk_cells", "Cells resident in the disk tier.", func() float64 {
+			return float64(s.store.Len())
+		})
+		r.GaugeFunc("react_disk_quarantined", "Disk entries quarantined as corrupt since open.", func() float64 {
+			return float64(s.store.Quarantined())
+		})
+	}
+	if s.cluster != nil {
+		r.GaugeFunc("react_cluster_peers", "Other members of the cluster ring.", func() float64 {
+			return float64(len(s.cluster.others))
+		})
+	}
 }
 
 // ServeHTTP implements http.Handler. Body handling is normalized here for
 // every method: the body (if any) is capped at maxSpecBytes, and whatever
 // a handler leaves unread is drained so the connection can be reused —
 // the GET/DELETE handlers never read bodies at all, and the POST decoders
-// stop at the first JSON value.
+// stop at the first JSON value. Every request gets a server-scoped id and
+// a structured log line (discarded unless Config.Logger is set).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	began := time.Now()
+	rid := s.reqSeq.Add(1)
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
 		defer func() {
@@ -314,7 +481,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			r.Body.Close()
 		}()
 	}
-	s.mux.ServeHTTP(w, r)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	attrs := []any{
+		"req_id", rid,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.code,
+		"dur_ms", float64(time.Since(began).Microseconds()) / 1e3,
+	}
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		if sc, ok := obs.ParseTraceparent(tp); ok {
+			attrs = append(attrs, "trace_id", sc.TraceID.String())
+		}
+	}
+	s.log.Info("http", attrs...)
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // Close cancels every in-flight cell and waits for the workers to drain.
@@ -336,7 +528,7 @@ const (
 	cellFresh
 )
 
-func (s *Server) attachCellLocked(spec *scenario.Spec, i int, opt scenario.RunOptions, noFwd bool) (*cell, int) {
+func (s *Server) attachCellLocked(spec *scenario.Spec, i int, opt scenario.RunOptions, noFwd bool, tctx obs.SpanContext) (*cell, int) {
 	fp, _ := spec.FingerprintCell(i, opt)
 	if fp != "" {
 		if c := s.cells[fp]; c != nil {
@@ -361,7 +553,9 @@ func (s *Server) attachCellLocked(spec *scenario.Spec, i int, opt scenario.RunOp
 		// index. A corrupt entry was quarantined by the store and reads
 		// as a miss.
 		if s.store != nil && s.store.Has(fp) {
+			began := time.Now()
 			if payload, err := s.store.Get(fp); err == nil {
+				s.hDiskGet.Observe(time.Since(began).Seconds())
 				if res, derr := decodeCell(payload); derr == nil {
 					c := &cell{fp: fp, buffer: spec.Buffers[i].DisplayName(), refs: 1, done: make(chan struct{})}
 					c.res = res
@@ -370,6 +564,7 @@ func (s *Server) attachCellLocked(spec *scenario.Spec, i int, opt scenario.RunOp
 					s.cacheCellLocked(c)
 					s.cellHits.Add(1)
 					s.diskHits.Add(1)
+					s.spans.Event(tctx, "disk-hit", s.node, map[string]string{"buffer": c.buffer})
 					return c, cellCached
 				}
 				// Decodable by the store but not by us (a payload written
@@ -386,7 +581,7 @@ func (s *Server) attachCellLocked(spec *scenario.Spec, i int, opt scenario.RunOp
 		s.cells[fp] = c
 	}
 	s.cellMisses.Add(1)
-	s.pending = append(s.pending, pendingCell{c: c, spec: spec, i: i, opt: opt, noFwd: noFwd})
+	s.pending = append(s.pending, pendingCell{c: c, spec: spec, i: i, opt: opt, noFwd: noFwd, tctx: tctx})
 	return c, cellFresh
 }
 
@@ -497,6 +692,7 @@ func (s *Server) startBatch(group []pendingCell, opt scenario.RunOptions) {
 		}
 	}
 	s.cellsQueued.Add(uint64(len(group)))
+	enqueued := time.Now()
 	s.jobs.Add(1)
 	go func() {
 		defer s.jobs.Done()
@@ -505,31 +701,49 @@ func (s *Server) startBatch(group []pendingCell, opt scenario.RunOptions) {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
 			for _, p := range group {
-				s.completeCell(p.c, sim.Result{}, ctx.Err(), cellSimulated)
+				s.completeCell(p.c, sim.Result{}, ctx.Err(), cellSimulated, 0, sim.CellStats{})
 			}
 			return
+		}
+		s.hQueueWait.Observe(time.Since(enqueued).Seconds())
+		s.hBatchCells.Observe(float64(len(group)))
+		// One batch span per lockstep pass, one "sim" child per member. A
+		// flush drains one submission, so the group shares its view's root
+		// span context.
+		bspan := s.spans.Start(group[0].tctx, "batch", s.node,
+			map[string]string{"cells": strconv.Itoa(len(group))})
+		cellSpans := make([]*obs.ActiveSpan, len(group))
+		for i, p := range group {
+			cellSpans[i] = s.spans.Start(bspan.Context(), "sim", s.node,
+				map[string]string{"buffer": p.spec.Buffers[p.i].DisplayName()})
 		}
 		items := make([]scenario.BatchItem, len(group))
 		for i, p := range group {
 			items[i] = scenario.BatchItem{Spec: p.spec, Buffer: p.i}
 		}
 		var st sim.Stats
+		began := time.Now()
 		res, err := scenario.RunBatch(items, opt, &st)
+		dur := time.Since(began)
 		<-s.sem
 		s.ticksSimulated.Add(st.TicksSimulated)
 		s.ticksFastForwarded.Add(st.TicksFastForwarded)
 		s.tracePasses.Add(st.TracePasses)
+		for _, sp := range cellSpans {
+			sp.End(err)
+		}
+		bspan.End(err)
 		if err != nil {
 			// A batch fails as a unit: a member that cannot even build its
 			// cell poisons the shared pass, and every sibling reports the
 			// same labeled error.
 			for _, p := range group {
-				s.completeCell(p.c, sim.Result{}, err, cellSimulated)
+				s.completeCell(p.c, sim.Result{}, err, cellSimulated, 0, sim.CellStats{})
 			}
 			return
 		}
 		for i, p := range group {
-			s.completeCell(p.c, res[i], nil, cellSimulated)
+			s.completeCell(p.c, res[i], nil, cellSimulated, dur, st.Cells[i])
 		}
 	}()
 }
@@ -547,14 +761,21 @@ const (
 // successful cell still wanted by the index becomes a cached entry
 // (bounded by LRU eviction) and writes through to the disk tier; failed
 // and cancelled cells leave the index so a resubmission simulates afresh.
-func (s *Server) completeCell(c *cell, res sim.Result, err error, origin int) {
+//
+// dur is the wall time of the batch pass that produced the cell and cst
+// its per-cell tick accounting — both zero for peer-fetched and cancelled
+// cells. The sim-duration histogram is observed exactly where simsOK is
+// bumped, so its cumulative count always equals sims_completed.
+func (s *Server) completeCell(c *cell, res sim.Result, err error, origin int, dur time.Duration, cst sim.CellStats) {
 	if err == nil && origin == cellSimulated && c.fp != "" && s.store != nil && res.Samples == nil {
 		// Write through before publishing, outside s.mu: the disk write
 		// must not stall attachments, and a cell is only servable from
 		// disk after it is servable from memory anyway.
 		if payload, perr := encodeCell(res); perr == nil {
+			began := time.Now()
 			if s.store.Put(c.fp, payload) == nil {
 				s.diskPuts.Add(1)
+				s.hDiskPut.Observe(time.Since(began).Seconds())
 			}
 		}
 	}
@@ -563,8 +784,12 @@ func (s *Server) completeCell(c *cell, res sim.Result, err error, origin int) {
 	switch {
 	case err == nil:
 		c.res = res
+		c.ticks = cst.TicksSimulated
+		c.ffTicks = cst.TicksFastForwarded
 		if origin == cellSimulated {
 			s.simsOK.Add(1)
+			s.rate.Add(1)
+			s.hCellSim.Observe(dur.Seconds())
 		}
 		if c.fp != "" && s.cells[c.fp] == c {
 			s.cacheCellLocked(c)
@@ -634,11 +859,14 @@ func (s *Server) releaseCellsLocked(v *view) {
 
 // --- view lifecycle ---
 
-// newViewLocked allocates a tracked view and attaches its cells. Called with
-// s.mu held.
-func (s *Server) newViewLocked(kind, prefix string, spec *scenario.Spec, opt scenario.RunOptions) *view {
+// newViewLocked allocates a tracked view, minting its root span: a fresh
+// trace normally, or a child of the submitter's span when the submission
+// carried a traceparent (a client propagating its own trace, or a peer
+// forwarding cells — either way the view's spans join the caller's trace).
+// Called with s.mu held.
+func (s *Server) newViewLocked(kind, prefix string, spec *scenario.Spec, opt scenario.RunOptions, parent obs.SpanContext) *view {
 	s.seq++
-	return &view{
+	v := &view{
 		id:      fmt.Sprintf("%s%06d", prefix, s.seq),
 		kind:    kind,
 		spec:    spec,
@@ -646,12 +874,16 @@ func (s *Server) newViewLocked(kind, prefix string, spec *scenario.Spec, opt sce
 		created: time.Now(),
 		status:  StatusRunning,
 	}
+	v.root = s.spans.Start(parent, kind, s.node, map[string]string{"scenario": spec.Name})
+	v.root.SetAttr("id", v.id)
+	v.tctx = v.root.Context()
+	return v
 }
 
 // addCell attaches one cell to the view and keeps the submission-time
 // cache accounting, returning the shared cell. Called with s.mu held.
 func (s *Server) addCell(v *view, spec *scenario.Spec, i int, opt scenario.RunOptions, key cellKey) *cell {
-	c, state := s.attachCellLocked(spec, i, opt, v.noFwd)
+	c, state := s.attachCellLocked(spec, i, opt, v.noFwd, v.tctx)
 	v.cells = append(v.cells, c)
 	v.keys = append(v.keys, key)
 	switch state {
@@ -732,6 +964,12 @@ func (s *Server) finalizeLocked(v *view) {
 	v.errMsg = errMsg
 	v.finished = time.Now()
 	v.mu.Unlock()
+	v.root.SetAttr("status", status)
+	if status == StatusDone {
+		v.root.End(nil)
+	} else {
+		v.root.End(errors.New(errMsg))
+	}
 
 	if status == StatusDone {
 		v.home = s.viewLRU
@@ -796,12 +1034,14 @@ func (v *view) getStatus() string {
 // Submit resolves, deduplicates and (if needed) launches a run, returning
 // its submission view. It is the Go-level core of POST /runs.
 func (s *Server) Submit(spec *scenario.Spec, opt scenario.RunOptions) *RunStatus {
-	return s.submit(spec, opt, false)
+	return s.submit(spec, opt, false, obs.SpanContext{})
 }
 
 // submit is Submit plus the cluster-internal noFwd flag (RunRequest
-// .NoForward): a forwarded run's fresh cells never forward again.
-func (s *Server) submit(spec *scenario.Spec, opt scenario.RunOptions, noFwd bool) *RunStatus {
+// .NoForward): a forwarded run's fresh cells never forward again. parent,
+// when valid, nests the run's root span under the submitter's trace (the
+// HTTP layer fills it from the traceparent header).
+func (s *Server) submit(spec *scenario.Spec, opt scenario.RunOptions, noFwd bool, parent obs.SpanContext) *RunStatus {
 	s.submitted.Add(1)
 	// A spec with no canonical encoding (Go-only constructors) still runs;
 	// it just cannot be deduplicated or cached.
@@ -830,7 +1070,7 @@ func (s *Server) submit(spec *scenario.Spec, opt scenario.RunOptions, noFwd bool
 			// through and replace it.
 		}
 	}
-	v := s.newViewLocked("run", "r", spec, opt)
+	v := s.newViewLocked("run", "r", spec, opt, parent)
 	v.fp = fp
 	v.noFwd = noFwd
 	seed := ResolveSeed(spec, opt.Seed)
@@ -924,9 +1164,14 @@ func ResolveSweepAxes(spec *scenario.Spec, req *SweepRequest) (SweepAxes, error)
 // by seed, so each (buffer, dt) group's seeds are contiguous and in order.
 // It is the Go-level core of POST /sweeps.
 func (s *Server) SubmitSweep(spec *scenario.Spec, ax SweepAxes) *SweepStatus {
+	return s.submitSweep(spec, ax, obs.SpanContext{})
+}
+
+// submitSweep is SubmitSweep with the submitter's span context.
+func (s *Server) submitSweep(spec *scenario.Spec, ax SweepAxes, parent obs.SpanContext) *SweepStatus {
 	s.sweeps.Add(1)
 	s.mu.Lock()
-	v := s.newViewLocked("sweep", "s", spec, scenario.RunOptions{})
+	v := s.newViewLocked("sweep", "s", spec, scenario.RunOptions{}, parent)
 	v.seeds = ax.Seeds
 	v.dts = ax.DTs
 	for _, bi := range ax.Buffers {
@@ -975,6 +1220,21 @@ func cellStatus(c *cell) CellStatus {
 	return cs
 }
 
+// progressOf aggregates a view's cell completion into the wire Progress:
+// cells done over total, plus the terminal cells' tick accounting (zero
+// for cached and peer-fetched cells, which cost this node no stepping).
+func progressOf(cells []*cell) Progress {
+	p := Progress{CellsTotal: len(cells)}
+	for _, c := range cells {
+		if c.terminal() {
+			p.CellsDone++
+			p.TicksSimulated += c.ticks
+			p.TicksFastForwarded += c.ffTicks
+		}
+	}
+	return p
+}
+
 // runStatus snapshots a run view into its wire shape.
 func (s *Server) runStatus(v *view) *RunStatus {
 	v.mu.Lock()
@@ -984,9 +1244,11 @@ func (s *Server) runStatus(v *view) *RunStatus {
 		Scenario:    v.spec.Name,
 		Seed:        ResolveSeed(v.spec, v.opt.Seed),
 		Fingerprint: v.fp,
+		TraceID:     v.tctx.TraceID.String(),
 		Status:      v.status,
 		Error:       v.errMsg,
 		Created:     v.created,
+		Progress:    progressOf(v.cells),
 		Cells:       make([]CellStatus, len(v.cells)),
 	}
 	if Terminal(v.status) {
@@ -1007,9 +1269,11 @@ func (s *Server) sweepStatus(v *view) *SweepStatus {
 	st := &SweepStatus{
 		ID:             v.id,
 		Scenario:       v.spec.Name,
+		TraceID:        v.tctx.TraceID.String(),
 		Status:         v.status,
 		Error:          v.errMsg,
 		Created:        v.created,
+		Progress:       progressOf(v.cells),
 		Seeds:          v.seeds,
 		DTs:            v.dts,
 		Buffers:        v.buffers,
@@ -1064,6 +1328,8 @@ func (s *Server) metrics() *Metrics {
 	queued, done := s.cellsQueued.Load(), s.cellsDone.Load()
 	m := &Metrics{
 		UptimeS:       time.Since(s.start).Seconds(),
+		StartTime:     s.start,
+		Build:         obs.BuildInfoLabels(),
 		Workers:       s.workers,
 		Submitted:     s.submitted.Load(),
 		Sweeps:        s.sweeps.Load(),
@@ -1116,8 +1382,12 @@ func (s *Server) metrics() *Metrics {
 		m.CellHitRate = float64(m.CellHits+m.CellCoalesced) / float64(attach)
 	}
 	if m.UptimeS > 0 {
+		// The lifetime average decays toward zero on an idle server; the
+		// windowed rate beside it is the operationally honest number.
 		m.SimsPerSec = float64(m.SimsCompleted) / m.UptimeS
 	}
+	m.SimsPerSec60 = s.rate.Rate()
+	m.DroppedSpans = s.spans.Dropped()
 	return m
 }
 
@@ -1196,7 +1466,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st := s.submit(spec, opt, rr.NoForward)
+	st := s.submit(spec, opt, rr.NoForward, parentSpan(req))
 	code := http.StatusAccepted
 	if Terminal(st.Status) {
 		code = http.StatusOK
@@ -1221,7 +1491,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st := s.SubmitSweep(spec, ax)
+	st := s.submitSweep(spec, ax, parentSpan(req))
 	code := http.StatusAccepted
 	if Terminal(st.Status) {
 		code = http.StatusOK
@@ -1300,6 +1570,26 @@ func (s *Server) handleSweepDelete(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, s.sweepStatus(v))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the Prometheus text exposition by default; a client
+// asking for application/json (the pre-observability shape, still served
+// unconditionally at /metrics.json) gets the JSON report instead.
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if strings.Contains(req.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics())
+}
+
+// parentSpan extracts the submitter's span context from a request's
+// traceparent header; the zero context (mint a fresh trace) otherwise.
+func parentSpan(req *http.Request) obs.SpanContext {
+	sc, _ := obs.ParseTraceparent(req.Header.Get(obs.TraceparentHeader))
+	return sc
 }

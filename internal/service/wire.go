@@ -6,6 +6,7 @@ import (
 
 	"react/internal/buffer"
 	"react/internal/explore"
+	"react/internal/obs"
 	"react/internal/scenario"
 	"react/internal/sim"
 )
@@ -109,13 +110,26 @@ type CellStatus struct {
 	Result *CellResult `json:"result,omitempty"`
 }
 
+// Progress is a view's completion accounting, updated on every poll while
+// the view drains: cells done over total, plus the terminal cells'
+// executor tick counts (cells served from cache or by a cluster peer cost
+// this node no stepping and contribute zero ticks).
+type Progress struct {
+	CellsDone          int    `json:"cells_done"`
+	CellsTotal         int    `json:"cells_total"`
+	TicksSimulated     uint64 `json:"ticks_simulated"`
+	TicksFastForwarded uint64 `json:"ticks_fastforwarded"`
+}
+
 // RunStatus is the submit/poll view of a run.
 type RunStatus struct {
 	ID          string `json:"id"`
 	Scenario    string `json:"scenario"`
 	Seed        uint64 `json:"seed"`
 	Fingerprint string `json:"fingerprint,omitempty"`
-	Status      string `json:"status"`
+	// TraceID addresses the run's span tree (GET /runs/{id}/trace).
+	TraceID string `json:"trace_id,omitempty"`
+	Status  string `json:"status"`
 	// Cached marks a submission served entirely from the result cache;
 	// Coalesced marks one attached to an identical run already in flight.
 	// Both are properties of the submission, false on later polls.
@@ -124,6 +138,7 @@ type RunStatus struct {
 	Error     string       `json:"error,omitempty"`
 	Created   time.Time    `json:"created"`
 	Finished  *time.Time   `json:"finished,omitempty"`
+	Progress  Progress     `json:"progress"`
 	Cells     []CellStatus `json:"cells"`
 }
 
@@ -184,12 +199,15 @@ type SweepSummary struct {
 // many cells were served from the cache, joined in flight, and freshly
 // simulated.
 type SweepStatus struct {
-	ID             string            `json:"id"`
-	Scenario       string            `json:"scenario"`
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	// TraceID addresses the sweep's span tree (GET /sweeps/{id}/trace).
+	TraceID        string            `json:"trace_id,omitempty"`
 	Status         string            `json:"status"`
 	Error          string            `json:"error,omitempty"`
 	Created        time.Time         `json:"created"`
 	Finished       *time.Time        `json:"finished,omitempty"`
+	Progress       Progress          `json:"progress"`
 	Seeds          []uint64          `json:"seeds"`
 	DTs            []float64         `json:"dts"`
 	Buffers        []string          `json:"buffers"`
@@ -233,13 +251,17 @@ type ExploreCellStatus struct {
 // same engine a local `reactsim -explore` runs, so remote results are
 // bit-identical to local ones for the same space and seeds.
 type ExploreStatus struct {
-	ID              string              `json:"id"`
-	Scenario        string              `json:"scenario"`
-	Strategy        string              `json:"strategy"`
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Strategy string `json:"strategy"`
+	// TraceID addresses the exploration's span tree
+	// (GET /explorations/{id}/trace), merged across cluster peers.
+	TraceID         string              `json:"trace_id,omitempty"`
 	Status          string              `json:"status"`
 	Error           string              `json:"error,omitempty"`
 	Created         time.Time           `json:"created"`
 	Finished        *time.Time          `json:"finished,omitempty"`
+	Progress        Progress            `json:"progress"`
 	Seeds           []uint64            `json:"seeds"`
 	TotalPoints     int                 `json:"total_points"`
 	EvaluatedPoints int                 `json:"evaluated_points"`
@@ -280,38 +302,50 @@ func toScenarioInfo(s *scenario.Spec) ScenarioInfo {
 	return info
 }
 
-// Metrics is the GET /metrics report: cache effectiveness at both
-// granularities (whole-run submissions and content-addressed cells), queue
-// state and simulation throughput.
+// Metrics is the JSON metrics report (GET /metrics.json, or GET /metrics
+// with Accept: application/json): cache effectiveness at both granularities
+// (whole-run submissions and content-addressed cells), queue state and
+// simulation throughput. The same counters back the Prometheus text
+// exposition at GET /metrics.
 type Metrics struct {
-	UptimeS       float64 `json:"uptime_s"`
-	Workers       int     `json:"workers"`
-	Submitted     uint64  `json:"runs_submitted"`
-	Sweeps        uint64  `json:"sweeps_submitted"`
-	Explorations  uint64  `json:"explorations_submitted"`
-	ExplorePoints uint64  `json:"explore_points_evaluated"`
-	ExploreCells  uint64  `json:"explore_cells"`
-	CacheHits     uint64  `json:"cache_hits"`
-	Coalesced     uint64  `json:"coalesced"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	CacheEntries  int     `json:"cache_entries"`
-	CacheCapacity int     `json:"cache_capacity"`
-	Evictions     uint64  `json:"cache_evictions"`
-	CellHits      uint64  `json:"cell_hits"`
-	CellCoalesced uint64  `json:"cell_coalesced"`
-	CellMisses    uint64  `json:"cell_misses"`
-	CellHitRate   float64 `json:"cell_hit_rate"`
-	CellEntries   int     `json:"cell_entries"`
-	CellCapacity  int     `json:"cell_capacity"`
-	CellEvictions uint64  `json:"cell_evictions"`
-	RunsTracked   int     `json:"runs_tracked"`
-	RunsActive    int     `json:"runs_active"`
-	QueueDepth    int     `json:"queue_depth"`
-	CellsRunning  int     `json:"cells_running"`
-	SimsCompleted uint64  `json:"sims_completed"`
-	SimsFailed    uint64  `json:"sims_failed"`
-	SimsPerSec    float64 `json:"sims_per_sec"`
+	UptimeS float64 `json:"uptime_s"`
+	// StartTime is when the server started; Build is the binary's build
+	// metadata (Go toolchain, module version, VCS revision when stamped).
+	StartTime     time.Time         `json:"start_time"`
+	Build         map[string]string `json:"build,omitempty"`
+	Workers       int               `json:"workers"`
+	Submitted     uint64            `json:"runs_submitted"`
+	Sweeps        uint64            `json:"sweeps_submitted"`
+	Explorations  uint64            `json:"explorations_submitted"`
+	ExplorePoints uint64            `json:"explore_points_evaluated"`
+	ExploreCells  uint64            `json:"explore_cells"`
+	CacheHits     uint64            `json:"cache_hits"`
+	Coalesced     uint64            `json:"coalesced"`
+	CacheMisses   uint64            `json:"cache_misses"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+	CacheEntries  int               `json:"cache_entries"`
+	CacheCapacity int               `json:"cache_capacity"`
+	Evictions     uint64            `json:"cache_evictions"`
+	CellHits      uint64            `json:"cell_hits"`
+	CellCoalesced uint64            `json:"cell_coalesced"`
+	CellMisses    uint64            `json:"cell_misses"`
+	CellHitRate   float64           `json:"cell_hit_rate"`
+	CellEntries   int               `json:"cell_entries"`
+	CellCapacity  int               `json:"cell_capacity"`
+	CellEvictions uint64            `json:"cell_evictions"`
+	RunsTracked   int               `json:"runs_tracked"`
+	RunsActive    int               `json:"runs_active"`
+	QueueDepth    int               `json:"queue_depth"`
+	CellsRunning  int               `json:"cells_running"`
+	SimsCompleted uint64            `json:"sims_completed"`
+	SimsFailed    uint64            `json:"sims_failed"`
+	// SimsPerSec is the lifetime average (sims completed over uptime) and
+	// decays toward zero while the server idles; SimsPerSec60 is the
+	// trailing-minute rate — the number to watch on a live node.
+	SimsPerSec   float64 `json:"sims_per_sec"`
+	SimsPerSec60 float64 `json:"sims_per_sec_60s"`
+	// DroppedSpans counts spans discarded by the span store's bounds.
+	DroppedSpans uint64 `json:"dropped_spans,omitempty"`
 
 	// Batched-executor accounting: cell-ticks actually stepped, cell-ticks
 	// skipped by the dead-time fast-forward, and lockstep passes over a
@@ -340,6 +374,21 @@ type Metrics struct {
 	PeerRetries   uint64 `json:"peer_retries,omitempty"`
 	PeerFallbacks uint64 `json:"peer_fallbacks,omitempty"`
 	PeerCells     uint64 `json:"peer_cells,omitempty"`
+}
+
+// TraceResponse is the GET trace report. The per-view endpoints
+// (/runs/{id}/trace and friends) return the assembled tree, merged across
+// cluster peers; the raw endpoint (/traces/{id}) returns this node's flat
+// spans only — the primitive the merge is built from.
+type TraceResponse struct {
+	TraceID string          `json:"trace_id"`
+	Spans   []obs.Span      `json:"spans,omitempty"`
+	Roots   []*obs.SpanTree `json:"roots,omitempty"`
+	// Dropped counts spans the span store discarded from this trace;
+	// Peers lists cluster members whose spans could not be merged (the
+	// tree is still served, just incomplete).
+	Dropped     uint64   `json:"dropped_spans,omitempty"`
+	PeersFailed []string `json:"peers_failed,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -23,6 +23,18 @@ type Stats struct {
 	// TracePasses is the number of batched passes over a trace: one per
 	// RunBatch call, however many cells shared it.
 	TracePasses uint64
+	// Cells is the per-cell tick accounting: RunBatch appends one entry
+	// per batch cell in config order, so a caller reusing one Stats across
+	// batches sees the concatenation. The aggregate counters above are
+	// always the sums over Cells.
+	Cells []CellStats
+}
+
+// CellStats is one cell's share of a batch's tick accounting, the basis of
+// the service layer's run-progress reporting.
+type CellStats struct {
+	TicksSimulated     uint64
+	TicksFastForwarded uint64
 }
 
 // tickInf is an unreachable tick bound used as "no event scheduled".
@@ -50,6 +62,36 @@ type batchCell struct {
 	hinter buffer.EnableHinter
 	done   bool
 	result Result
+	// ticks/ffTicks are this cell's share of the batch tick accounting.
+	ticks   uint64
+	ffTicks uint64
+	// probe, when non-nil, observes this cell's events; the last* fields
+	// are the change detectors behind its callbacks and are only touched
+	// on the probe path.
+	probe        Probe
+	probeCell    int
+	lastState    mcu.State
+	lastCap      float64
+	lastBackups  int
+	lastRestores int
+}
+
+// observe fires the probe callbacks for whatever changed during the tick
+// ending at sim time t. Only called when c.probe is non-nil.
+func (c *batchCell) observe(t float64) {
+	if st := c.dev.State(); st != c.lastState {
+		c.probe.DeviceState(c.probeCell, t, c.lastState, st)
+		c.lastState = st
+	}
+	if bk, rs := c.dev.Backups, c.dev.Restores; bk != c.lastBackups || rs != c.lastRestores {
+		c.probe.Checkpoint(c.probeCell, t, bk-c.lastBackups, rs-c.lastRestores)
+		c.lastBackups, c.lastRestores = bk, rs
+	}
+	//lint:reactlint-ignore dtarith change detection, not a tolerance check: any capacitance difference is a reconfiguration event
+	if cp := c.buf.Capacitance(); cp != c.lastCap {
+		c.probe.BufferReconfig(c.probeCell, t, cp)
+		c.lastCap = cp
+	}
 }
 
 // batch is the shared state of one lockstep pass over a trace.
@@ -132,9 +174,16 @@ func RunBatch(cfgs []Config, st *Stats) ([]Result, error) {
 		c.hinter, _ = cfg.Buffer.(buffer.EnableHinter)
 		c.initial = c.buf.Stored()
 		c.v = c.buf.OutputVoltage()
+		if cfg.Probe != nil {
+			c.probe = cfg.Probe
+			c.probeCell = cfg.ProbeCell
+			c.lastState = c.dev.State()
+			c.lastCap = c.buf.Capacitance()
+			c.lastBackups = c.dev.Backups
+			c.lastRestores = c.dev.Restores
+		}
 	}
 
-	var simTicks, ffTicks uint64
 	live := len(b.cells)
 	for tick := 0; live > 0; {
 		t := float64(tick) * dt
@@ -146,7 +195,17 @@ func RunBatch(cfgs []Config, st *Stats) ([]Result, error) {
 		}
 		if raw == 0 {
 			if wake := b.fastForwardFrom(tick); wake > tick {
-				ffTicks += uint64(wake-tick) * uint64(live)
+				skipped := uint64(wake - tick)
+				for i := range b.cells {
+					c := &b.cells[i]
+					if c.done {
+						continue
+					}
+					c.ffTicks += skipped
+					if c.probe != nil {
+						c.probe.FastForward(c.probeCell, t, float64(wake)*dt)
+					}
+				}
 				tick = wake
 				continue
 			}
@@ -168,6 +227,9 @@ func RunBatch(cfgs []Config, st *Stats) ([]Result, error) {
 			c.dev.Step(t, dt, c.buf)
 			c.buf.Tick(t, dt, c.dev.Powered())
 			c.v = c.buf.OutputVoltage()
+			if c.probe != nil {
+				c.observe(t)
+			}
 
 			if c.recordDT > 0 && t >= float64(c.recIdx)*c.recordDT {
 				c.samples = append(c.samples, Sample{
@@ -177,7 +239,7 @@ func RunBatch(cfgs []Config, st *Stats) ([]Result, error) {
 				c.recIdx++
 			}
 
-			simTicks++
+			c.ticks++
 			tEnd := float64(tick+1) * dt
 			if tEnd >= b.traceDur {
 				// Drain phase: the cell retires once its device is off and
@@ -193,8 +255,15 @@ func RunBatch(cfgs []Config, st *Stats) ([]Result, error) {
 	}
 
 	if st != nil {
-		st.TicksSimulated += simTicks
-		st.TicksFastForwarded += ffTicks
+		for i := range b.cells {
+			c := &b.cells[i]
+			st.TicksSimulated += c.ticks
+			st.TicksFastForwarded += c.ffTicks
+			st.Cells = append(st.Cells, CellStats{
+				TicksSimulated:     c.ticks,
+				TicksFastForwarded: c.ffTicks,
+			})
+		}
 		st.TracePasses++
 	}
 	results := make([]Result, len(b.cells))
@@ -220,6 +289,9 @@ func (c *batchCell) retire(tEnd float64) {
 		Stored:        c.buf.Stored(),
 		InitialStored: c.initial,
 		Samples:       c.samples,
+	}
+	if c.probe != nil {
+		c.probe.Retire(c.probeCell, tEnd)
 	}
 }
 

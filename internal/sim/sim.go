@@ -35,6 +35,15 @@ type Config struct {
 	// RecordDT, when positive, records the rail voltage, device state and
 	// equivalent capacitance every RecordDT seconds (for the figures).
 	RecordDT float64
+	// Probe, when non-nil, observes the run's device-level events (state
+	// transitions, checkpoints, reconfigurations, fast-forward parks) for
+	// timeline recording. Probes never change results; the nil path costs
+	// only a predictable branch per cell-tick.
+	Probe Probe
+	// ProbeCell is the cell index reported to Probe callbacks, letting a
+	// caller that splits one logical run across several batches keep
+	// global cell identities. Ignored when Probe is nil.
+	ProbeCell int
 }
 
 // Sample is one recorded point of a run.
@@ -145,6 +154,17 @@ func RunReference(cfg Config) (Result, error) {
 	aligned := fe.Aligned(dt)
 
 	initialStored := buf.Stored()
+	// Probe change detectors, mirroring the batched executor's: the
+	// reference loop emits the same DeviceState/Checkpoint/BufferReconfig
+	// stream (it never fast-forwards, so no FastForward events).
+	var lastState mcu.State
+	var lastCap float64
+	var lastBackups, lastRestores int
+	if cfg.Probe != nil {
+		lastState = dev.State()
+		lastCap = buf.Capacitance()
+		lastBackups, lastRestores = dev.Backups, dev.Restores
+	}
 	// t is derived from the tick count, never accumulated: summing dt once
 	// per tick builds up float error over long runs (2.6e8 ticks for the
 	// 72 h scenario), skewing sample timestamps and the trace-end check.
@@ -166,6 +186,21 @@ func RunReference(cfg Config) (Result, error) {
 		dev.Step(t, dt, buf)
 		buf.Tick(t, dt, dev.Powered())
 		v = buf.OutputVoltage()
+		if cfg.Probe != nil {
+			if st := dev.State(); st != lastState {
+				cfg.Probe.DeviceState(cfg.ProbeCell, t, lastState, st)
+				lastState = st
+			}
+			if bk, rs := dev.Backups, dev.Restores; bk != lastBackups || rs != lastRestores {
+				cfg.Probe.Checkpoint(cfg.ProbeCell, t, bk-lastBackups, rs-lastRestores)
+				lastBackups, lastRestores = bk, rs
+			}
+			//lint:reactlint-ignore dtarith change detection, not a tolerance check: any capacitance difference is a reconfiguration event
+			if cp := buf.Capacitance(); cp != lastCap {
+				cfg.Probe.BufferReconfig(cfg.ProbeCell, t, cp)
+				lastCap = cp
+			}
+		}
 
 		if cfg.RecordDT > 0 && t >= float64(recIdx)*cfg.RecordDT {
 			samples = append(samples, Sample{
@@ -186,6 +221,9 @@ func RunReference(cfg Config) (Result, error) {
 				break
 			}
 		}
+	}
+	if cfg.Probe != nil {
+		cfg.Probe.Retire(cfg.ProbeCell, tEnd)
 	}
 
 	return Result{
